@@ -1,0 +1,108 @@
+// A1 — ablation: what the carbon nanotubes buy.
+//
+// The paper's central materials claim: "surface modification of the
+// electrode with nanostructures can enhance the performance in
+// biosensing" — CNT both enlarge the electroactive area and wire the
+// enzyme to the electrode. This ablation takes the platform glucose
+// sensor, holds the *deposited enzyme amount* fixed, and swaps the
+// surface modification. The sensitivity measured through the full
+// pipeline quantifies each film's contribution.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace biosens;
+
+struct AblationResult {
+  std::string film;
+  double sensitivity_ua = 0.0;
+  double lod_um = 0.0;
+  double wired_fraction = 0.0;
+};
+
+AblationResult run_with(const electrode::Modification& film, Rng& rng) {
+  core::CatalogEntry entry =
+      core::entry_or_throw("MWCNT/Nafion + GOD (this work)");
+  const double loading = entry.spec.assembly.loading_monolayers;
+
+  core::SensorSpec spec = entry.spec;
+  spec.name = "glucose / " + film.name;
+  spec.assembly.modification = film;
+  spec.assembly.loading_monolayers = loading;  // same enzyme deposited
+  spec.assembly.km_tuning = entry.spec.assembly.km_tuning;
+  spec.assembly.noise_tuning = entry.spec.assembly.noise_tuning;
+
+  const core::BiosensorModel sensor(spec);
+  const core::CalibrationProtocol protocol;
+  const auto series = core::standard_series(entry.published.range_low,
+                                            entry.published.range_high);
+  const auto result = protocol.run(sensor, series, rng).result;
+
+  AblationResult out;
+  out.film = film.name;
+  out.sensitivity_ua =
+      result.sensitivity.micro_amp_per_milli_molar_cm2();
+  out.lod_um = result.lod.micro_molar();
+  out.wired_fraction = film.transfer_efficiency * film.area_enhancement;
+  return out;
+}
+
+void BM_AblationOneFilm(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_with(electrode::mwcnt_nafion(), rng));
+  }
+}
+BENCHMARK(BM_AblationOneFilm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner(
+      "Ablation A1",
+      "same enzyme load, different surface modification (glucose)");
+
+  Rng rng(2012);
+  std::vector<AblationResult> results;
+  for (const auto& film :
+       {electrode::bare_surface(), electrode::nafion_film(),
+        electrode::chitosan_film(), electrode::mwcnt_sol_gel(),
+        electrode::cnt_mat(), electrode::mwcnt_butyric_acid(),
+        electrode::mwcnt_nafion()}) {
+    try {
+      results.push_back(run_with(film, rng));
+    } catch (const Error& e) {
+      // A film that wires too little enzyme produces no measurable
+      // calibration at all — itself a result.
+      results.push_back({film.name, 0.0, 0.0,
+                         film.transfer_efficiency * film.area_enhancement});
+    }
+  }
+
+  std::printf("\n%-18s | %22s | %10s | %s\n", "film",
+              "sensitivity [uA/mM/cm2]", "LOD [uM]",
+              "wired-enzyme factor (area x transfer)");
+  std::printf(
+      "-------------------+------------------------+------------+---------"
+      "------\n");
+  const double reference = results.back().sensitivity_ua;
+  for (const AblationResult& r : results) {
+    if (r.sensitivity_ua > 0.0) {
+      std::printf("%-18s | %16.2f (%3.0f%%) | %10.1f | %10.2f\n",
+                  r.film.c_str(), r.sensitivity_ua,
+                  100.0 * r.sensitivity_ua / reference, r.lod_um,
+                  r.wired_fraction);
+    } else {
+      std::printf("%-18s | %22s | %10s | %10.2f\n", r.film.c_str(),
+                  "below detection", "-", r.wired_fraction);
+    }
+  }
+  std::printf(
+      "\nreading: with the *same* deposited enzyme, the MWCNT/Nafion film\n"
+      "reaches ~%0.fx the bare electrode's sensitivity — the paper's\n"
+      "\"excellent properties of electron transfer\" claim, quantified.\n",
+      results.back().sensitivity_ua /
+          std::max(results.front().sensitivity_ua, 1e-3));
+
+  return bench::run_timings(argc, argv);
+}

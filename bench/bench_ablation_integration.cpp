@@ -1,0 +1,109 @@
+// A2 — ablation: what miniaturization and integration buy.
+//
+// Section 1 claims: (a) "system miniaturization increases also sensor
+// response and requires small samples"; (b) integration improves
+// signal-to-noise because electrochemical signals are weak and noisy.
+// This bench sweeps the electrode area at fixed areal chemistry
+// (response time, sample volume) and sweeps the readout integration
+// (smoothing) at fixed chemistry (measured blank noise).
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "electrochem/chronoamperometry.hpp"
+
+namespace {
+
+using namespace biosens;
+
+void print_area_sweep() {
+  std::printf(
+      "\n(a) electrode area sweep — same areal chemistry, same stirring\n");
+  std::printf(
+      "  area [mm2] | steady current | response t95 | min sample\n");
+  const core::CatalogEntry entry =
+      core::entry_or_throw("MWCNT/Nafion + GOD (this work)");
+  for (double mm2 : {13.0, 4.0, 1.0, 0.25, 0.0625}) {
+    core::SensorSpec spec = entry.spec;
+    spec.assembly.geometry.working_area = Area::square_millimeters(mm2);
+    // Sample need scales with the cell footprint.
+    spec.assembly.geometry.min_sample_volume =
+        Volume::microliters(5.0 * mm2 / 0.25);
+    const electrode::EffectiveLayer layer =
+        electrode::synthesize(spec.assembly);
+    electrochem::Cell cell(
+        layer,
+        chem::calibration_sample("glucose", Concentration::milli_molar(0.5)),
+        electrochem::Hydrodynamics{true, 400.0});
+    const electrochem::ChronoamperometrySim sim(
+        std::move(cell), electrochem::standard_oxidase_step());
+    std::printf("  %10.4f | %14s | %12s | %s\n", mm2,
+                to_string(sim.steady_state()).c_str(),
+                to_string(sim.response_time_95()).c_str(),
+                to_string(spec.assembly.geometry.min_sample_volume).c_str());
+  }
+  std::printf(
+      "  (the signal shrinks with area, but so does the sample need — and\n"
+      "   the smaller double-layer settles faster; the readout must keep\n"
+      "   the noise floor low, which is the integration argument)\n");
+}
+
+void print_integration_sweep() {
+  std::printf(
+      "\n(b) readout integration sweep — measured blank noise vs smoothing\n");
+  std::printf("  smoothing window | blank sigma [pA] | LOD [uM]\n");
+  const core::CatalogEntry entry =
+      core::entry_or_throw("MWCNT/Nafion + GOD (this work)");
+  const core::BiosensorModel sensor(entry.spec);
+  const auto series = core::standard_series(entry.published.range_low,
+                                            entry.published.range_high);
+
+  for (std::size_t window : {1u, 5u, 25u}) {
+    Rng rng(7);
+    core::MeasurementOptions options;
+    options.smoothing_window = window;
+    const core::BiosensorModel swept(entry.spec, options);
+    // Measure repeated blanks through the pipeline; the LF electrode
+    // noise does not integrate away, the white part does.
+    std::vector<double> blanks;
+    for (int i = 0; i < 16; ++i) {
+      blanks.push_back(
+          swept.measure(chem::blank_sample(), rng).response_a);
+    }
+    const double sigma = sample_stddev(blanks);
+    // LOD implied with the sensor's calibrated slope.
+    core::CalibrationProtocol protocol;
+    Rng rng2(7);
+    const auto cal = protocol.run(swept, series, rng2).result;
+    std::printf("  %16zu | %16.1f | %8.2f\n", window, sigma * 1e12,
+                3.0 * sigma / cal.fit.slope * 1e3);
+  }
+  std::printf(
+      "  (the flicker-dominated electrode background sets the floor: LOD\n"
+      "   is improved by lower-noise electrodes and integration, not by\n"
+      "   averaging alone — why the paper pushes electrode/CMOS "
+      "co-design)\n");
+}
+
+void BM_BlankMeasurement(benchmark::State& state) {
+  const core::CatalogEntry entry =
+      core::entry_or_throw("MWCNT/Nafion + GOD (this work)");
+  const core::BiosensorModel sensor(entry.spec);
+  Rng rng(1);
+  const chem::Sample blank = chem::blank_sample();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor.measure(blank, rng));
+  }
+}
+BENCHMARK(BM_BlankMeasurement)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Ablation A2",
+                      "miniaturization & integration (Section 1 claims)");
+  print_area_sweep();
+  print_integration_sweep();
+  return biosens::bench::run_timings(argc, argv);
+}

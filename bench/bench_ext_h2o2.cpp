@@ -1,0 +1,93 @@
+// Extension E4 — the H2O2 intermediate made explicit: collection
+// efficiency vs electrode material.
+//
+// Section 3.2.2 quotes the reason [16] beats the platform's lactate
+// sensitivity: "carbon electrode has better performance than metallic
+// electrodes for the detection of H2O2". The two-species simulator
+// quantifies it: the peroxide the oxidase produces competes between
+// electrode oxidation (material-dependent k_e) and escape to the bulk,
+// and only the collected fraction becomes current.
+#include "bench_util.hpp"
+
+#include "electrochem/chronoamperometry.hpp"
+#include "electrochem/peroxide.hpp"
+
+namespace {
+
+using namespace biosens;
+
+electrochem::Cell glucose_cell(Concentration glucose) {
+  const core::CatalogEntry entry =
+      core::entry_or_throw("MWCNT/Nafion + GOD (this work)");
+  return electrochem::Cell(electrode::synthesize(entry.spec.assembly),
+                           chem::calibration_sample("glucose", glucose),
+                           electrochem::Hydrodynamics{true, 400.0});
+}
+
+void print_material_sweep() {
+  std::printf(
+      "\n(a) steady current at 0.3 mM glucose vs electrode material\n");
+  std::printf("  %-16s | %-12s | %-22s | %-14s\n", "material",
+              "k_e [m/s]", "collection efficiency", "steady current");
+  std::printf(
+      "  -----------------+--------------+------------------------+------"
+      "---------\n");
+  for (electrode::Material m :
+       {electrode::Material::kGold, electrode::Material::kGraphite,
+        electrode::Material::kGlassyCarbon,
+        electrode::Material::kPlatinum}) {
+    electrochem::PeroxideOptions options;
+    options.electrode_rate_m_per_s =
+        electrochem::peroxide_rate_constant_m_per_s(m);
+    const electrochem::PeroxideChronoSim sim(
+        glucose_cell(Concentration::milli_molar(0.3)), options);
+    std::printf("  %-16s | %12.1e | %22.2f | %s\n",
+                std::string(electrode::to_string(m)).c_str(),
+                options.electrode_rate_m_per_s,
+                sim.collection_efficiency(),
+                to_string(sim.steady_state()).c_str());
+  }
+  std::printf(
+      "  (the [16] remark quantified: carbons collect the peroxide far\n"
+      "   better than plain gold; catalytic platinum nearly all of it)\n");
+}
+
+void print_lumped_validation() {
+  std::printf(
+      "\n(b) two-species model vs the lumped simulator (same device)\n");
+  const electrochem::ChronoamperometrySim lumped(
+      glucose_cell(Concentration::milli_molar(0.3)),
+      electrochem::standard_oxidase_step());
+  const double lumped_a = lumped.steady_state().amps();
+  std::printf("  lumped (full collection):   %s\n",
+              to_string(Current::amps(lumped_a)).c_str());
+  electrochem::PeroxideOptions options;
+  const electrochem::PeroxideChronoSim two_species(
+      glucose_cell(Concentration::milli_molar(0.3)), options);
+  const double eta = two_species.collection_efficiency();
+  std::printf(
+      "  two-species on the Au chip: %s  (= lumped x eta, eta = %.2f)\n",
+      to_string(two_species.steady_state()).c_str(), eta);
+  std::printf(
+      "  (the lumped pipeline's calibrated parameters absorb eta; the\n"
+      "   explicit model separates chemistry from electrode catalysis)\n");
+}
+
+void BM_TwoSpeciesTrace(benchmark::State& state) {
+  for (auto _ : state) {
+    const electrochem::PeroxideChronoSim sim(
+        glucose_cell(Concentration::milli_molar(0.3)));
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_TwoSpeciesTrace)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_banner("Extension E4",
+                      "H2O2 collection efficiency vs electrode material");
+  print_material_sweep();
+  print_lumped_validation();
+  return bench::run_timings(argc, argv);
+}

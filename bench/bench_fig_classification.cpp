@@ -1,0 +1,84 @@
+// F4 — the Section 2 survey as numbers: per-axis histograms of the
+// literature database behind the classification, and the queries that
+// back the paper's qualitative statements ("electrochemical biosensors
+// are by far the most reported devices in literature", CMOS
+// integrability of the transduction families, the rise of CNT).
+#include "bench_util.hpp"
+
+#include "classify/survey.hpp"
+
+namespace {
+
+using namespace biosens;
+using namespace biosens::classify;
+
+void print_histogram(const char* title,
+                     const std::map<std::string, std::size_t>& hist) {
+  std::printf("\n%s\n", title);
+  for (const auto& [label, n] : hist) {
+    std::printf("  %-28s %3zu  ", label.c_str(), n);
+    for (std::size_t i = 0; i < n; ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+void print_figure() {
+  bench::print_banner("Figure F4",
+                      "Section 2 survey statistics (classification axes)");
+  std::printf("survey database: %zu entries from the paper's references\n",
+              survey_database().size());
+
+  print_histogram("by transduction mechanism (Section 2.3):",
+                  histogram_by_transduction());
+  print_histogram("by target class (Section 2.1):", histogram_by_target());
+  print_histogram("by sensing element (Section 2.2):",
+                  histogram_by_element());
+  print_histogram("by nanomaterial (Section 2.4):",
+                  histogram_by_nanomaterial());
+
+  // The integration argument of Section 2.5.
+  std::size_t cmos_ok = 0, total = 0;
+  for (const SurveyEntry& e : survey_database()) {
+    ++total;
+    if (is_cmos_friendly(e.transduction)) ++cmos_ok;
+  }
+  std::printf(
+      "\nCMOS-integrable transduction (Section 2.5 argument): %zu / %zu "
+      "surveyed devices\n",
+      cmos_ok, total);
+
+  SurveyQuery poc;
+  poc.point_of_care = true;
+  std::printf("point-of-care capable: %zu / %zu\n", count(poc), total);
+
+  SurveyQuery cnt_amp;
+  cnt_amp.transduction = Transduction::kAmperometric;
+  cnt_amp.nanomaterial = Nanomaterial::kCarbonNanotube;
+  std::printf(
+      "CNT + amperometric (the platform's quadrant): %zu devices\n",
+      count(cnt_amp));
+}
+
+void BM_SurveyQuery(benchmark::State& state) {
+  SurveyQuery q;
+  q.transduction = Transduction::kAmperometric;
+  q.nanomaterial = Nanomaterial::kCarbonNanotube;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query(q));
+  }
+}
+BENCHMARK(BM_SurveyQuery);
+
+void BM_SurveyHistogram(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram_by_transduction());
+  }
+}
+BENCHMARK(BM_SurveyHistogram);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  return biosens::bench::run_timings(argc, argv);
+}

@@ -1,0 +1,71 @@
+// Label-free impedimetric immunoassay — the Section 2.3 survey family
+// ([37] Faradic impedimetric immunosensors, [47] CA-125 detection) as a
+// runnable example.
+//
+// An antibody layer on the electrode binds a tumor marker; binding
+// blocks the redox probe's electron transfer, raising the
+// charge-transfer resistance R_ct. The assay sweeps an impedance
+// spectrum, fits the Randles circuit, and reads the relative R_ct
+// change against a Langmuir calibration.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "electrochem/impedance.hpp"
+
+int main() {
+  using namespace biosens;
+  using namespace biosens::electrochem;
+
+  // A CA-125-like assay: antibody K_d ~ 2 nM, R_ct gain 8x at saturation.
+  RandlesCircuit baseline;
+  baseline.solution = Resistance::ohms(120.0);
+  baseline.charge_transfer = Resistance::kilo_ohms(4.0);
+  baseline.double_layer = Capacitance::micro_farads(2.0);
+  const ImpedimetricImmunosensor assay(baseline,
+                                       Concentration::nano_molar(2.0),
+                                       8.0);
+
+  // Show one Nyquist sweep (blank vs near-saturation).
+  std::printf("Nyquist end-points (100 kHz -> 0.05 Hz):\n");
+  for (const auto& [label, conc] :
+       {std::pair<const char*, double>{"blank", 0.0},
+        std::pair<const char*, double>{"50 nM antigen", 50.0}}) {
+    const RandlesCircuit circuit =
+        assay.circuit_at(Concentration::nano_molar(conc));
+    const ImpedanceSpectrum s = sweep_spectrum(
+        circuit, Frequency::kilo_hertz(100.0), Frequency::hertz(0.05), 8);
+    const RandlesFit fit = fit_randles(s);
+    std::printf(
+        "  %-14s  R_s %5.0f ohm   R_ct %7.0f ohm   C_dl %.2f uF\n", label,
+        fit.solution.ohms(), fit.charge_transfer.ohms(),
+        fit.double_layer.micro_farads());
+  }
+
+  // Calibration: relative R_ct change vs antigen concentration.
+  Rng rng(7);
+  Table table({"antigen [nM]", "occupancy", "delta R_ct / R_ct"});
+  std::printf("\ncalibration (1%% spectrum noise):\n");
+  std::printf("  antigen [nM] | occupancy | delta R_ct / R_ct\n");
+  for (double nm : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0}) {
+    const Concentration c = Concentration::nano_molar(nm);
+    const double response = assay.relative_rct_change(c, 0.01, rng);
+    std::printf("  %12.1f | %9.2f | %17.2f\n", nm, assay.occupancy(c),
+                response);
+    table.add_row_numeric({nm, assay.occupancy(c), response});
+  }
+
+  // Half-saturation read-back: the concentration whose response is half
+  // the saturation value estimates K_d.
+  Rng rng2(7);
+  const double saturation = assay.relative_rct_change(
+      Concentration::micro_molar(1.0), 0.0, rng2);
+  std::printf(
+      "\nsaturation response %.2f; half-saturation by construction at "
+      "K_d = %s\n",
+      saturation, to_string(assay.k_d()).c_str());
+
+  Table::write_file("immunoassay_calibration.csv", table.to_csv());
+  std::printf("\nwrote immunoassay_calibration.csv\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "analysis/laviron.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/regression.hpp"
+
+namespace biosens::analysis {
+
+ScanRate critical_scan_rate(Rate k_s, int electrons) {
+  require<SpecError>(k_s.per_second() > 0.0, "k_s must be positive");
+  require<SpecError>(electrons > 0, "electron count must be positive");
+  return ScanRate::volts_per_second(constants::kThermalVoltage /
+                                    electrons * k_s.per_second());
+}
+
+LavironFit fit_laviron(std::span<const ScanRate> scan_rates,
+                       std::span<const Potential> separations,
+                       int electrons, double alpha,
+                       Potential min_separation) {
+  require<AnalysisError>(scan_rates.size() == separations.size(),
+                         "mismatched scan-rate study");
+  require<SpecError>(electrons > 0, "electron count must be positive");
+  require<SpecError>(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+
+  // Kinetic branch: dEp = (RT/(alpha n F)) * [ln(nu) - ln(RT k_s/(nF))]
+  // is linear in ln(nu); the x-intercept gives k_s.
+  std::vector<double> xs, ys;
+  for (std::size_t k = 0; k < scan_rates.size(); ++k) {
+    if (separations[k].volts() <= min_separation.volts()) continue;
+    xs.push_back(std::log(scan_rates[k].volts_per_second()));
+    ys.push_back(separations[k].volts());
+  }
+  require<AnalysisError>(
+      xs.size() >= 2,
+      "scan-rate study has fewer than two kinetic-branch points; sweep "
+      "faster");
+
+  const LinearFit line = fit_ols(xs, ys);
+  require<AnalysisError>(line.slope > 0.0,
+                         "peak separation must grow with scan rate");
+
+  // x-intercept: ln(nu0) where dEp -> 0, and nu0 = RT k_s / (nF).
+  const double ln_nu0 = -line.intercept / line.slope;
+  const double nu0 = std::exp(ln_nu0);
+  const double k_s = nu0 * electrons / constants::kThermalVoltage;
+
+  LavironFit fit;
+  fit.electron_transfer_rate = Rate::per_second(k_s);
+  fit.alpha = alpha;
+  fit.points_used = xs.size();
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+}  // namespace biosens::analysis

@@ -1,0 +1,43 @@
+// Laviron analysis: extracting the heterogeneous electron-transfer rate
+// from a scan-rate study.
+//
+// The electron-transfer rate k_s of a surface-confined couple is the
+// figure the paper's CNT claim ultimately rests on ("excellent
+// properties of electron transfer"). Experimentally it is obtained from
+// a trumpet plot: sweep the scan rate, record the anodic/cathodic peak
+// separation, and fit Laviron's relation
+//   dEp(nu) = (RT / alpha n F) * ln(nu * n F / (R T k_s))
+// over the kinetic (dEp > 0) branch.
+#pragma once
+
+#include <span>
+
+#include "common/units.hpp"
+
+namespace biosens::analysis {
+
+/// Result of a trumpet-plot fit.
+struct LavironFit {
+  Rate electron_transfer_rate;  ///< extracted k_s
+  double alpha = 0.5;           ///< assumed transfer coefficient
+  std::size_t points_used = 0;  ///< kinetic-branch points in the fit
+  double r_squared = 0.0;
+};
+
+/// Fits k_s from matched (scan rate, peak separation) observations.
+///
+/// Points with separation <= `min_separation` (reversible branch, no
+/// kinetic information) are ignored; at least two kinetic points are
+/// required. `electrons` and `alpha` parameterize Laviron's relation.
+/// Throws AnalysisError when the kinetic branch is under-sampled.
+[[nodiscard]] LavironFit fit_laviron(
+    std::span<const ScanRate> scan_rates,
+    std::span<const Potential> separations, int electrons,
+    double alpha = 0.5,
+    Potential min_separation = Potential::millivolts(5.0));
+
+/// The scan rate above which the couple leaves the reversible regime
+/// (dEp becomes non-zero): nu_crit = R T k_s / (n F) ... / 1.
+[[nodiscard]] ScanRate critical_scan_rate(Rate k_s, int electrons);
+
+}  // namespace biosens::analysis

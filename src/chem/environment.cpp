@@ -1,0 +1,56 @@
+#include "chem/environment.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace biosens::chem {
+
+Buffer reference_buffer() { return Buffer{}; }  // PBS pH 7.4, 25 degC
+
+Concentration air_saturated_oxygen() {
+  return Concentration::micro_molar(250.0);
+}
+
+double raw_activity(const EnvironmentSensitivity& env, const Buffer& buffer,
+                    Concentration dissolved_oxygen) {
+  require<SpecError>(env.ph_width > 0.0, "pH width must be positive");
+  require<SpecError>(env.activation_energy_kj_mol >= 0.0,
+                     "activation energy must be non-negative");
+  require<SpecError>(dissolved_oxygen.milli_molar() >= 0.0,
+                     "dissolved oxygen must be non-negative");
+
+  double factor = 1.0;
+
+  // O2 co-substrate saturation (oxidases only).
+  if (env.oxygen_km.milli_molar() > 0.0) {
+    const double o2 = dissolved_oxygen.milli_molar();
+    factor *= o2 / (env.oxygen_km.milli_molar() + o2);
+  }
+
+  // Gaussian activity-vs-pH bell around the optimum.
+  const double dph = (buffer.ph - env.ph_optimum) / env.ph_width;
+  factor *= std::exp(-0.5 * dph * dph);
+
+  // Arrhenius temperature response of the turnover.
+  const double t = buffer.temperature.kelvin();
+  require<SpecError>(t > 0.0, "temperature must be positive");
+  const double t_ref = constants::kRoomTemperatureK;
+  const double ea = env.activation_energy_kj_mol * 1e3;  // J/mol
+  factor *= std::exp(-ea / constants::kGasConstant *
+                     (1.0 / t - 1.0 / t_ref));
+  return factor;
+}
+
+double relative_activity(const EnvironmentSensitivity& env,
+                         const Buffer& buffer,
+                         Concentration dissolved_oxygen) {
+  const double reference =
+      raw_activity(env, reference_buffer(), air_saturated_oxygen());
+  require<NumericsError>(reference > 0.0,
+                         "reference activity must be positive");
+  return raw_activity(env, buffer, dissolved_oxygen) / reference;
+}
+
+}  // namespace biosens::chem

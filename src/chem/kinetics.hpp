@@ -1,0 +1,67 @@
+// Enzyme reaction-rate laws.
+//
+// The surface-confined enzymatic flux is the chemical heart of every
+// sensor model: in the kinetically limited regime its linearization sets
+// the sensitivity, and its saturation (Michaelis-Menten) sets the upper
+// end of the linear range.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace biosens::chem {
+
+/// Michaelis-Menten rate law for a surface-immobilized enzyme layer.
+///
+/// The layer is characterized by an *apparent* turnover and Michaelis
+/// constant, which already fold in immobilization losses and the
+/// diffusion barrier of the film (see electrode::EffectiveLayer).
+class MichaelisMenten {
+ public:
+  /// @param k_cat apparent turnover number of the immobilized enzyme
+  /// @param k_m   apparent Michaelis constant
+  MichaelisMenten(Rate k_cat, Concentration k_m);
+
+  /// Per-enzyme turnover rate v(S) = k_cat * S / (K_M + S)  [1/s].
+  [[nodiscard]] double turnover_per_second(Concentration substrate) const;
+
+  /// Areal molar flux of product for an enzyme coverage Gamma:
+  /// J = Gamma * v(S)   [mol m^-2 s^-1].
+  [[nodiscard]] double areal_flux(SurfaceCoverage gamma,
+                                  Concentration substrate) const;
+
+  /// Slope of v(S) at S -> 0, i.e. k_cat / K_M  [1/s per (mol/m^3)].
+  [[nodiscard]] double linear_slope() const;
+
+  /// Relative deviation of v(S) from its tangent at the origin:
+  /// 1 - v(S)/(slope*S) = S / (K_M + S). Used by linear-range analysis.
+  [[nodiscard]] double linearity_deviation(Concentration substrate) const;
+
+  /// Largest concentration whose deviation from linearity does not exceed
+  /// `max_deviation` (e.g. 0.05 for the conventional 5% criterion):
+  /// S* = max_deviation/(1-max_deviation) * K_M.
+  [[nodiscard]] Concentration linear_limit(double max_deviation) const;
+
+  [[nodiscard]] Rate k_cat() const { return k_cat_; }
+  [[nodiscard]] Concentration k_m() const { return k_m_; }
+
+ private:
+  Rate k_cat_;
+  Concentration k_m_;
+};
+
+/// Competitive inhibition: K_M is scaled by (1 + [I]/K_I). Returns the
+/// apparent Michaelis constant in the presence of inhibitor concentration
+/// `inhibitor` with inhibition constant `k_i`.
+[[nodiscard]] Concentration competitive_km(Concentration k_m,
+                                           Concentration inhibitor,
+                                           Concentration k_i);
+
+/// Substrate-inhibition rate law v(S) = k_cat*S / (K_M + S + S^2/K_SI),
+/// relevant for some oxidases at high substrate. Returns turnovers per
+/// second.
+[[nodiscard]] double substrate_inhibited_turnover(Rate k_cat,
+                                                  Concentration k_m,
+                                                  Concentration k_si,
+                                                  Concentration substrate);
+
+}  // namespace biosens::chem

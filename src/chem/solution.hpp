@@ -1,0 +1,85 @@
+// Samples and buffers: the liquid phase presented to a sensor.
+//
+// A Sample is a composition map (species name -> concentration) over a
+// buffer. The workload generators build calibration series, spiked serum
+// samples, and drug cocktails out of these.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace biosens::chem {
+
+/// Supporting electrolyte. All paper experiments use phosphate-buffered
+/// saline; the fields matter to the cell model (solution resistance).
+struct Buffer {
+  std::string name = "PBS";
+  double ph = 7.4;
+  /// Ionic strength sets the uncompensated solution resistance together
+  /// with the cell geometry.
+  Concentration ionic_strength = Concentration::milli_molar(150.0);
+  Temperature temperature = Temperature::celsius(25.0);
+};
+
+/// A liquid sample: a buffer plus dissolved species.
+class Sample {
+ public:
+  Sample() = default;
+  explicit Sample(Buffer buffer) : buffer_(std::move(buffer)) {}
+
+  /// Sets the concentration of a species (overwrites any previous value).
+  /// Negative concentrations are rejected.
+  void set(std::string_view species, Concentration c);
+
+  /// Adds (spikes) additional analyte into the sample.
+  void spike(std::string_view species, Concentration delta);
+
+  /// Concentration of a species; zero when absent.
+  [[nodiscard]] Concentration concentration_of(
+      std::string_view species) const;
+
+  /// True when the species is present at a non-zero level.
+  [[nodiscard]] bool contains(std::string_view species) const;
+
+  /// Uniform dilution of every species by `factor` (> 1 dilutes).
+  void dilute(double factor);
+
+  /// Names of all species present, sorted.
+  [[nodiscard]] std::vector<std::string> species_names() const;
+
+  /// Dissolved oxygen (co-substrate of the oxidase reaction); defaults
+  /// to air saturation. Distinct from the composition map so blanks and
+  /// calibration standards are oxygenated like real buffer.
+  [[nodiscard]] Concentration dissolved_oxygen() const {
+    return dissolved_oxygen_;
+  }
+  void set_dissolved_oxygen(Concentration oxygen);
+
+  [[nodiscard]] const Buffer& buffer() const { return buffer_; }
+  [[nodiscard]] std::size_t species_count() const {
+    return concentrations_.size();
+  }
+
+ private:
+  Buffer buffer_;
+  Concentration dissolved_oxygen_ = Concentration::micro_molar(250.0);
+  std::map<std::string, Concentration, std::less<>> concentrations_;
+};
+
+/// Builds a blank (analyte-free) buffer sample.
+[[nodiscard]] Sample blank_sample();
+
+/// Builds a single-analyte calibration sample at concentration `c`.
+[[nodiscard]] Sample calibration_sample(std::string_view species,
+                                        Concentration c);
+
+/// Builds a serum-like sample carrying the standard interferent panel
+/// (ascorbic acid, uric acid, paracetamol at mid-physiological levels)
+/// plus the requested analyte.
+[[nodiscard]] Sample serum_sample(std::string_view species, Concentration c);
+
+}  // namespace biosens::chem

@@ -1,0 +1,235 @@
+#include "classify/survey.hpp"
+
+#include <array>
+#include <optional>
+
+namespace biosens::classify {
+
+bool SurveyQuery::matches(const SurveyEntry& e) const {
+  if (target.has_value() && e.target != *target) return false;
+  if (element.has_value() && e.element != *element) return false;
+  if (transduction.has_value() && e.transduction != *transduction) {
+    return false;
+  }
+  if (nanomaterial.has_value() && e.nanomaterial != *nanomaterial) {
+    return false;
+  }
+  if (electrode.has_value() && e.electrode != *electrode) return false;
+  if (point_of_care.has_value() && e.point_of_care != *point_of_care) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+using TC = TargetClass;
+using SE = SensingElement;
+using TR = Transduction;
+using NM = Nanomaterial;
+using ET = ElectrodeTechnology;
+
+// One row per surveyed device/approach of Section 2, in reading order.
+const std::vector<SurveyEntry>& database() {
+  static const std::vector<SurveyEntry> kEntries = {
+      // --- Section 2.1: targets ---
+      {"[35]", "DNA microarray, hybridization + optical readout", TC::kDna,
+       SE::kNucleicAcid, TR::kOptical, NM::kNone, ET::kNotApplicable,
+       false},
+      {"[45]", "fully electronic label-free DNA chip (capacitance)",
+       TC::kDna, SE::kNucleicAcid, TR::kCapacitive, NM::kNone,
+       ET::kCmosIntegrated, true},
+      {"[6]", "electrochemical DNA expression sensing", TC::kDna,
+       SE::kNucleicAcid, TR::kAmperometric, NM::kNone, ET::kConventional,
+       false},
+      {"[30]", "home blood glucose strips", TC::kMetabolite, SE::kEnzyme,
+       TR::kAmperometric, NM::kNone, ET::kDisposable, true},
+      {"[31]", "lactate monitoring for sports medicine", TC::kMetabolite,
+       SE::kEnzyme, TR::kAmperometric, NM::kNone, ET::kDisposable, true},
+      {"[43]", "cholesterol on cobalt-oxide nanostructures",
+       TC::kMetabolite, SE::kEnzyme, TR::kAmperometric, NM::kNanoparticle,
+       ET::kConventional, false},
+      {"[38]", "glutamate microsensors in brain tissue", TC::kMetabolite,
+       SE::kEnzyme, TR::kAmperometric, NM::kNone, ET::kMicrofabricated,
+       false},
+      {"[21]", "creatinine biosensors", TC::kMetabolite, SE::kEnzyme,
+       TR::kPotentiometric, NM::kNone, ET::kConventional, false},
+      {"[58]", "PSA multiplexed electrochemical immunoassay",
+       TC::kBiomarker, SE::kAntibody, TR::kAmperometric, NM::kNone,
+       ET::kDisposable, true},
+      {"[47]", "CA-125 immunoassay with Au nanoparticles", TC::kBiomarker,
+       SE::kAntibody, TR::kAmperometric, NM::kNanoparticle,
+       ET::kConventional, false},
+      {"[11]", "autoimmune biomarker panels by SPR", TC::kBiomarker,
+       SE::kAntibody, TR::kSurfacePlasmon, NM::kNone, ET::kNotApplicable,
+       false},
+      {"[11b]", "cardiac markers for infarction diagnosis", TC::kBiomarker,
+       SE::kAntibody, TR::kSurfacePlasmon, NM::kNone, ET::kNotApplicable,
+       true},
+      {"[11c]", "dengue virus RNA / hepatitis B antigen screening",
+       TC::kPathogen, SE::kNucleicAcid, TR::kOptical, NM::kNone,
+       ET::kNotApplicable, true},
+      {"[53]", "paracetamol/theophylline/chlorpromazine/salicylate "
+               "monitoring",
+       TC::kDrug, SE::kEnzyme, TR::kAmperometric, NM::kNone,
+       ET::kDisposable, true},
+      {"[9]", "multi-panel P450 drug detection in serum", TC::kDrug,
+       SE::kEnzyme, TR::kAmperometric, NM::kCarbonNanotube,
+       ET::kDisposable, true},
+      // --- Section 2.2: sensing elements ---
+      {"[44]", "enzyme assays in sequential-injection format",
+       TC::kMetabolite, SE::kEnzyme, TR::kOptical, NM::kNone,
+       ET::kNotApplicable, false},
+      {"[25]", "ELISA with enzymatic colorimetric transduction",
+       TC::kBiomarker, SE::kAntibody, TR::kOptical, NM::kNone,
+       ET::kNotApplicable, false},
+      {"[12]", "labeled DNA strands for genetic disease detection",
+       TC::kDna, SE::kNucleicAcid, TR::kOptical, NM::kNone,
+       ET::kNotApplicable, false},
+      {"[46]", "natural/artificial ion channels for drug sensing",
+       TC::kDrug, SE::kReceptor, TR::kPotentiometric, NM::kNone,
+       ET::kConventional, false},
+      {"[34]", "cell-based receptor biosensors", TC::kDrug, SE::kReceptor,
+       TR::kFieldEffect, NM::kNone, ET::kMicrofabricated, false},
+      // --- Section 2.3: transduction mechanisms ---
+      {"[20]", "fluorescent nucleic-acid probes", TC::kDna,
+       SE::kNucleicAcid, TR::kOptical, NM::kNone, ET::kNotApplicable,
+       false},
+      {"[56]", "SPR structures and surface functionalization",
+       TC::kBiomarker, SE::kAntibody, TR::kSurfacePlasmon, NM::kNone,
+       ET::kNotApplicable, false},
+      {"[13]", "QCM acoustic-wave immunoassays and DNA detection",
+       TC::kDna, SE::kNucleicAcid, TR::kPiezoelectric, NM::kNone,
+       ET::kNotApplicable, false},
+      {"[50]", "capacitive microsystems for biological sensing",
+       TC::kBiomarker, SE::kAntibody, TR::kCapacitive, NM::kNone,
+       ET::kMicrofabricated, false},
+      {"[37]", "Faradic impedimetric immunosensors with redox probe",
+       TC::kBiomarker, SE::kAntibody, TR::kFaradicImpedimetric, NM::kNone,
+       ET::kConventional, false},
+      {"[23]", "potentiometric urea/creatinine biosensors",
+       TC::kMetabolite, SE::kEnzyme, TR::kPotentiometric, NM::kNone,
+       ET::kConventional, false},
+      {"[24]", "ion-sensitive FETs for biological sensing",
+       TC::kMetabolite, SE::kEnzyme, TR::kFieldEffect, NM::kNone,
+       ET::kMicrofabricated, false},
+      {"[22]", "CNT-FET for prostate cancer diagnosis", TC::kBiomarker,
+       SE::kAntibody, TR::kFieldEffect, NM::kCarbonNanotube,
+       ET::kMicrofabricated, false},
+      // --- Section 2.4: nanotechnology-based biosensors ---
+      {"[36]", "Au/Ag/Pt nanoparticles for voltammetry/potentiometry",
+       TC::kBiomarker, SE::kAntibody, TR::kAmperometric, NM::kNanoparticle,
+       ET::kConventional, false},
+      {"[27]", "quantum-dot labels for optical sensing", TC::kBiomarker,
+       SE::kAntibody, TR::kOptical, NM::kQuantumDot, ET::kNotApplicable,
+       false},
+      {"[2]", "core-shell nanoparticles for biocompatible sensing",
+       TC::kBiomarker, SE::kAntibody, TR::kOptical, NM::kCoreShell,
+       ET::kNotApplicable, false},
+      {"[39]", "nanowire conductometric/FET biosensors", TC::kBiomarker,
+       SE::kAntibody, TR::kFieldEffect, NM::kNanowire,
+       ET::kMicrofabricated, false},
+      {"[52]", "nanowire electrochemical biosensors", TC::kMetabolite,
+       SE::kEnzyme, TR::kAmperometric, NM::kNanowire, ET::kConventional,
+       false},
+      {"[7]", "direct electron transfer of GOD on CNT", TC::kMetabolite,
+       SE::kEnzyme, TR::kAmperometric, NM::kCarbonNanotube,
+       ET::kConventional, false},
+      {"[40]", "self-assembled CNT electrodes (thiol linking)",
+       TC::kMetabolite, SE::kEnzyme, TR::kAmperometric,
+       NM::kCarbonNanotube, ET::kConventional, false},
+      {"[54]", "Nafion-solubilized CNT amperometric biosensors",
+       TC::kMetabolite, SE::kEnzyme, TR::kAmperometric,
+       NM::kCarbonNanotube, ET::kConventional, false},
+      // --- Section 2.5 / 3: electrode technology and the platform ---
+      {"[17]", "3-D integrated bio-electronic interface (TSV stack)",
+       TC::kDna, SE::kNucleicAcid, TR::kCapacitive, NM::kNone,
+       ET::kCmosIntegrated, true},
+      {"[3]", "microfabricated Au chip for real-time nanobiosensing",
+       TC::kMetabolite, SE::kEnzyme, TR::kAmperometric,
+       NM::kCarbonNanotube, ET::kMicrofabricated, true},
+      {"[4]", "CNT sensing of lactate/glucose in cell culture",
+       TC::kMetabolite, SE::kEnzyme, TR::kAmperometric,
+       NM::kCarbonNanotube, ET::kDisposable, true},
+      {"[5]", "multi-metabolite monitoring of neural cells",
+       TC::kMetabolite, SE::kEnzyme, TR::kAmperometric,
+       NM::kCarbonNanotube, ET::kDisposable, true},
+      {"[32]", "DNA-modified electrodes for cyclophosphamide (DPV)",
+       TC::kDrug, SE::kNucleicAcid, TR::kAmperometric, NM::kNone,
+       ET::kConventional, false},
+      {"[14]", "P450 porous-silicon optical arachidonic acid sensor",
+       TC::kMetabolite, SE::kEnzyme, TR::kOptical, NM::kNone,
+       ET::kNotApplicable, false},
+      {"this work", "MWCNT + oxidase/CYP electrochemical platform",
+       TC::kDrug, SE::kEnzyme, TR::kAmperometric, NM::kCarbonNanotube,
+       ET::kDisposable, true},
+  };
+  return kEntries;
+}
+
+}  // namespace
+
+std::span<const SurveyEntry> survey_database() { return database(); }
+
+std::vector<SurveyEntry> query(const SurveyQuery& q) {
+  std::vector<SurveyEntry> out;
+  for (const SurveyEntry& e : database()) {
+    if (q.matches(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t count(const SurveyQuery& q) {
+  std::size_t n = 0;
+  for (const SurveyEntry& e : database()) {
+    if (q.matches(e)) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+template <class Axis, class Getter>
+std::map<std::string, std::size_t> histogram(const SurveyQuery& q,
+                                             Getter getter) {
+  std::map<std::string, std::size_t> out;
+  for (const SurveyEntry& e : database()) {
+    if (!q.matches(e)) continue;
+    out[std::string(to_string(getter(e)))]++;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::size_t> histogram_by_transduction(
+    const SurveyQuery& q) {
+  return histogram<Transduction>(
+      q, [](const SurveyEntry& e) { return e.transduction; });
+}
+
+std::map<std::string, std::size_t> histogram_by_target(
+    const SurveyQuery& q) {
+  return histogram<TargetClass>(
+      q, [](const SurveyEntry& e) { return e.target; });
+}
+
+std::map<std::string, std::size_t> histogram_by_element(
+    const SurveyQuery& q) {
+  return histogram<SensingElement>(
+      q, [](const SurveyEntry& e) { return e.element; });
+}
+
+std::map<std::string, std::size_t> histogram_by_nanomaterial(
+    const SurveyQuery& q) {
+  return histogram<Nanomaterial>(
+      q, [](const SurveyEntry& e) { return e.nanomaterial; });
+}
+
+std::map<std::string, std::size_t> histogram_by_electrode(
+    const SurveyQuery& q) {
+  return histogram<ElectrodeTechnology>(
+      q, [](const SurveyEntry& e) { return e.electrode; });
+}
+
+}  // namespace biosens::classify

@@ -1,0 +1,69 @@
+// The literature survey of Section 2 as a queryable in-memory database.
+//
+// Every device the paper's survey discusses is an entry classified along
+// the five taxonomy axes, with its reference tag and application note.
+// Queries support filtering by any axis combination and producing the
+// per-axis histograms behind statements like "electrochemical biosensors
+// are by far the most reported devices in literature".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/taxonomy.hpp"
+
+namespace biosens::classify {
+
+/// One surveyed device/approach.
+struct SurveyEntry {
+  std::string reference;    ///< bibliography tag, e.g. "[45]"
+  std::string description;  ///< what was detected / how
+  TargetClass target;
+  SensingElement element;
+  Transduction transduction;
+  Nanomaterial nanomaterial = Nanomaterial::kNone;
+  ElectrodeTechnology electrode = ElectrodeTechnology::kNotApplicable;
+  bool point_of_care = false;  ///< suitable for point-of-care use
+};
+
+/// Conjunctive filter over the axes; unset axes match anything.
+struct SurveyQuery {
+  std::optional<TargetClass> target;
+  std::optional<SensingElement> element;
+  std::optional<Transduction> transduction;
+  std::optional<Nanomaterial> nanomaterial;
+  std::optional<ElectrodeTechnology> electrode;
+  std::optional<bool> point_of_care;
+
+  [[nodiscard]] bool matches(const SurveyEntry& e) const;
+};
+
+/// The built-in survey database (~40 entries drawn from the paper's
+/// references). Stable order and contents.
+[[nodiscard]] std::span<const SurveyEntry> survey_database();
+
+/// Entries matching a query.
+[[nodiscard]] std::vector<SurveyEntry> query(const SurveyQuery& q);
+
+/// Number of entries matching a query.
+[[nodiscard]] std::size_t count(const SurveyQuery& q);
+
+/// Histogram of the whole database (or a filtered subset) along one
+/// axis, keyed by the axis's to_string label.
+[[nodiscard]] std::map<std::string, std::size_t> histogram_by_transduction(
+    const SurveyQuery& q = {});
+[[nodiscard]] std::map<std::string, std::size_t> histogram_by_target(
+    const SurveyQuery& q = {});
+[[nodiscard]] std::map<std::string, std::size_t> histogram_by_element(
+    const SurveyQuery& q = {});
+[[nodiscard]] std::map<std::string, std::size_t> histogram_by_nanomaterial(
+    const SurveyQuery& q = {});
+[[nodiscard]] std::map<std::string, std::size_t> histogram_by_electrode(
+    const SurveyQuery& q = {});
+
+}  // namespace biosens::classify

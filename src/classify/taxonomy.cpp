@@ -1,0 +1,109 @@
+#include "classify/taxonomy.hpp"
+
+namespace biosens::classify {
+
+std::string_view to_string(TargetClass v) {
+  switch (v) {
+    case TargetClass::kDna:
+      return "DNA";
+    case TargetClass::kMetabolite:
+      return "metabolite";
+    case TargetClass::kBiomarker:
+      return "biomarker";
+    case TargetClass::kPathogen:
+      return "pathogen";
+    case TargetClass::kDrug:
+      return "drug";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SensingElement v) {
+  switch (v) {
+    case SensingElement::kEnzyme:
+      return "enzyme";
+    case SensingElement::kAntibody:
+      return "antibody";
+    case SensingElement::kNucleicAcid:
+      return "nucleic acid";
+    case SensingElement::kReceptor:
+      return "receptor";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Transduction v) {
+  switch (v) {
+    case Transduction::kOptical:
+      return "optical";
+    case Transduction::kSurfacePlasmon:
+      return "surface plasmon resonance";
+    case Transduction::kPiezoelectric:
+      return "piezoelectric";
+    case Transduction::kCapacitive:
+      return "capacitive";
+    case Transduction::kFaradicImpedimetric:
+      return "Faradic impedimetric";
+    case Transduction::kPotentiometric:
+      return "potentiometric";
+    case Transduction::kFieldEffect:
+      return "field-effect";
+    case Transduction::kAmperometric:
+      return "amperometric";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(Nanomaterial v) {
+  switch (v) {
+    case Nanomaterial::kNone:
+      return "none";
+    case Nanomaterial::kNanoparticle:
+      return "nanoparticle";
+    case Nanomaterial::kQuantumDot:
+      return "quantum dot";
+    case Nanomaterial::kCoreShell:
+      return "core-shell";
+    case Nanomaterial::kNanowire:
+      return "nanowire";
+    case Nanomaterial::kCarbonNanotube:
+      return "carbon nanotube";
+    case Nanomaterial::kOtherNanotube:
+      return "non-carbon nanotube";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ElectrodeTechnology v) {
+  switch (v) {
+    case ElectrodeTechnology::kNotApplicable:
+      return "n/a";
+    case ElectrodeTechnology::kDisposable:
+      return "disposable (screen-printed)";
+    case ElectrodeTechnology::kConventional:
+      return "conventional disc";
+    case ElectrodeTechnology::kMicrofabricated:
+      return "microfabricated";
+    case ElectrodeTechnology::kCmosIntegrated:
+      return "CMOS-integrated";
+  }
+  return "unknown";
+}
+
+bool is_cmos_friendly(Transduction v) {
+  switch (v) {
+    case Transduction::kCapacitive:
+    case Transduction::kFaradicImpedimetric:
+    case Transduction::kPotentiometric:
+    case Transduction::kFieldEffect:
+    case Transduction::kAmperometric:
+      return true;
+    case Transduction::kOptical:
+    case Transduction::kSurfacePlasmon:
+    case Transduction::kPiezoelectric:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace biosens::classify

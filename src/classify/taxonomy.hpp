@@ -1,0 +1,75 @@
+// The biosensor classification of Section 2, as vocabulary types.
+//
+// The paper proposes "an essential classification of biosensors that have
+// been proposed in literature during the last decade" along five axes:
+// target (2.1), sensing element (2.2), transduction mechanism (2.3),
+// nanotechnology (2.4), and electrode technology (2.5). This header makes
+// each axis a closed enum so survey entries and platform specs can be
+// classified, filtered and counted programmatically.
+#pragma once
+
+#include <string_view>
+
+namespace biosens::classify {
+
+/// Section 2.1 — what the device detects.
+enum class TargetClass {
+  kDna,         ///< hybridization/sequence detection
+  kMetabolite,  ///< glucose, lactate, cholesterol, glutamate, creatinine...
+  kBiomarker,   ///< PSA, CA-125, autoimmune antibodies, cardiac markers
+  kPathogen,    ///< virus RNA, hepatitis antigen, bacteria
+  kDrug,        ///< therapeutic compounds
+};
+
+/// Section 2.2 — the biological recognition element.
+enum class SensingElement {
+  kEnzyme,      ///< catalytic proteins (oxidases, CYP450)
+  kAntibody,    ///< antigen binding, no catalysis
+  kNucleicAcid, ///< base-pairing probes
+  kReceptor,    ///< cell-membrane proteins / ion channels
+};
+
+/// Section 2.3 — how recognition becomes a signal.
+enum class Transduction {
+  kOptical,              ///< spectro(photo)metric, fluorescent labels
+  kSurfacePlasmon,       ///< SPR refractive-index shift
+  kPiezoelectric,        ///< QCM / microcantilever mass shift
+  kCapacitive,           ///< impedimetric, capacitance branch
+  kFaradicImpedimetric,  ///< impedimetric, charge-transfer branch
+  kPotentiometric,       ///< electrode potential at zero current
+  kFieldEffect,          ///< (bio)FET gate-charge readout
+  kAmperometric,         ///< redox current (this paper's platform)
+};
+
+/// Section 2.4 — nanomaterial employed, if any.
+enum class Nanomaterial {
+  kNone,
+  kNanoparticle,     ///< Au/Ag/Pt colloids
+  kQuantumDot,       ///< semiconductor crystals < 10 nm
+  kCoreShell,        ///< coated-nanoparticle hybrids
+  kNanowire,         ///< metallic/semiconductor wires
+  kCarbonNanotube,   ///< SWCNT/MWCNT (this paper's platform)
+  kOtherNanotube,    ///< titanate and other non-carbon tubes
+};
+
+/// Section 2.5 — electrode/system technology.
+enum class ElectrodeTechnology {
+  kNotApplicable,   ///< non-electrochemical devices
+  kDisposable,      ///< screen-printed strips
+  kConventional,    ///< lab discs (glassy carbon, Pt, Au)
+  kMicrofabricated, ///< chip-scale electrodes
+  kCmosIntegrated,  ///< electrodes co-integrated with readout [17]
+};
+
+[[nodiscard]] std::string_view to_string(TargetClass v);
+[[nodiscard]] std::string_view to_string(SensingElement v);
+[[nodiscard]] std::string_view to_string(Transduction v);
+[[nodiscard]] std::string_view to_string(Nanomaterial v);
+[[nodiscard]] std::string_view to_string(ElectrodeTechnology v);
+
+/// True for the transduction families that integrate naturally with CMOS
+/// readout (the paper's Section 2.5 argument for electrochemical
+/// sensing).
+[[nodiscard]] bool is_cmos_friendly(Transduction v);
+
+}  // namespace biosens::classify

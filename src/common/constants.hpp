@@ -1,0 +1,29 @@
+// Physical constants used throughout the electrochemical models.
+//
+// All values are CODATA 2018 exact or recommended values, in SI units.
+#pragma once
+
+namespace biosens::constants {
+
+/// Faraday constant [C/mol] — charge carried by one mole of electrons.
+inline constexpr double kFaraday = 96485.33212;
+
+/// Molar gas constant [J/(mol*K)].
+inline constexpr double kGasConstant = 8.314462618;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Standard laboratory temperature [K] (25 degC) — all paper experiments
+/// are performed at room temperature.
+inline constexpr double kRoomTemperatureK = 298.15;
+
+/// Thermal voltage RT/F at room temperature [V]; appears in the
+/// Butler-Volmer and Laviron expressions.
+inline constexpr double kThermalVoltage =
+    kGasConstant * kRoomTemperatureK / kFaraday;
+
+}  // namespace biosens::constants

@@ -1,0 +1,46 @@
+// Error taxonomy for the biosens library.
+//
+// The library reports unrecoverable misuse (invalid specs, inconsistent
+// units, numerics blowing up) via exceptions, per the C++ Core Guidelines
+// (E.2). Recoverable "no result" cases use std::optional instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace biosens {
+
+/// Base class for all biosens errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A sensor/platform specification violates the compositional rules
+/// (e.g. pairing an oxidase probe with cyclic voltammetry).
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine received invalid input or failed to converge.
+class NumericsError : public Error {
+ public:
+  explicit NumericsError(const std::string& what) : Error(what) {}
+};
+
+/// A measurement/analysis step could not produce a meaningful result
+/// (e.g. calibration with fewer than two points).
+class AnalysisError : public Error {
+ public:
+  explicit AnalysisError(const std::string& what) : Error(what) {}
+};
+
+/// Throws E with `what` when `condition` is false. Used to validate
+/// preconditions at public API boundaries (I.5).
+template <class E = Error>
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw E(what);
+}
+
+}  // namespace biosens

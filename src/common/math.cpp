@@ -1,0 +1,143 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosens {
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  require<NumericsError>(n >= 1, "tridiagonal system must be non-empty");
+  require<NumericsError>(lower.size() == n - 1 && upper.size() == n - 1 &&
+                             rhs.size() == n,
+                         "tridiagonal system size mismatch");
+
+  std::vector<double> c_prime(n, 0.0);
+  std::vector<double> d_prime(n, 0.0);
+
+  double pivot = diag[0];
+  require<NumericsError>(std::abs(pivot) > 1e-300,
+                         "singular tridiagonal pivot");
+  c_prime[0] = (n > 1) ? upper[0] / pivot : 0.0;
+  d_prime[0] = rhs[0] / pivot;
+
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag[i] - lower[i - 1] * c_prime[i - 1];
+    require<NumericsError>(std::abs(pivot) > 1e-300,
+                           "singular tridiagonal pivot");
+    if (i < n - 1) c_prime[i] = upper[i] / pivot;
+    d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / pivot;
+  }
+
+  std::vector<double> x(n, 0.0);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  require<NumericsError>(n >= 2, "linspace requires at least two points");
+  std::vector<double> out(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + step * static_cast<double>(i);
+  }
+  out.back() = hi;  // avoid accumulated round-off on the final point
+  return out;
+}
+
+double trapezoid(std::span<const double> x, std::span<const double> y) {
+  require<NumericsError>(x.size() == y.size(),
+                         "trapezoid: size mismatch between x and y");
+  if (x.size() < 2) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    total += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return total;
+}
+
+double interp1(std::span<const double> xs, std::span<const double> ys,
+               double x) {
+  require<NumericsError>(xs.size() == ys.size() && !xs.empty(),
+                         "interp1: invalid table");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter) {
+  require<NumericsError>(lo < hi, "bisect: invalid bracket");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  require<NumericsError>(flo * fhi < 0.0,
+                         "bisect: no sign change over bracket");
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if (flo * fmid < 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+bool approx_equal(double a, double b, double rtol, double atol) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  require<NumericsError>(n >= 1 && a.size() == n,
+                         "solve_dense: size mismatch");
+  for (const auto& row : a) {
+    require<NumericsError>(row.size() == n, "solve_dense: ragged matrix");
+  }
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    require<NumericsError>(std::abs(a[pivot][col]) > 1e-300,
+                           "solve_dense: singular matrix");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) sum -= a[row][c] * x[c];
+    x[row] = sum / a[row][row];
+  }
+  return x;
+}
+
+}  // namespace biosens

@@ -1,0 +1,55 @@
+// Small numerical kernels shared by the simulators and the analysis layer.
+//
+// Everything here is deliberately dependency-free: a tridiagonal solver
+// for the Crank-Nicolson diffusion step, grid/integration helpers, and
+// monotone 1-D interpolation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace biosens {
+
+/// Solves a tridiagonal linear system A*x = d with the Thomas algorithm.
+///
+/// `lower` has n-1 entries (sub-diagonal), `diag` has n entries, `upper`
+/// has n-1 entries (super-diagonal), `rhs` has n entries. Returns x.
+/// Throws NumericsError on size mismatch or a (numerically) singular pivot.
+/// O(n) time, O(n) scratch.
+[[nodiscard]] std::vector<double> solve_tridiagonal(
+    std::span<const double> lower, std::span<const double> diag,
+    std::span<const double> upper, std::span<const double> rhs);
+
+/// `n` evenly spaced values from `lo` to `hi` inclusive. Requires n >= 2.
+[[nodiscard]] std::vector<double> linspace(double lo, double hi,
+                                           std::size_t n);
+
+/// Trapezoidal integral of samples `y` over matching abscissae `x`.
+[[nodiscard]] double trapezoid(std::span<const double> x,
+                               std::span<const double> y);
+
+/// Linear interpolation of (xs, ys) at query point `x`. `xs` must be
+/// strictly increasing; queries outside the range clamp to the endpoints.
+[[nodiscard]] double interp1(std::span<const double> xs,
+                             std::span<const double> ys, double x);
+
+/// Finds a root of `f` in [lo, hi] by bisection. Requires a sign change;
+/// refines until the bracket is below `tol` or `max_iter` halvings.
+[[nodiscard]] double bisect(const std::function<double(double)>& f, double lo,
+                            double hi, double tol = 1e-12,
+                            int max_iter = 200);
+
+/// True when |a - b| <= atol + rtol*max(|a|,|b|).
+[[nodiscard]] bool approx_equal(double a, double b, double rtol = 1e-9,
+                                double atol = 0.0);
+
+/// Solves the small dense system A*x = b by Gaussian elimination with
+/// partial pivoting (A given row-major, n x n). Throws NumericsError on
+/// size mismatch or a singular matrix. Intended for the few-by-few
+/// systems of panel deconvolution.
+[[nodiscard]] std::vector<double> solve_dense(
+    std::vector<std::vector<double>> a, std::vector<double> b);
+
+}  // namespace biosens

@@ -1,0 +1,73 @@
+#include "common/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace biosens {
+namespace {
+
+LinearFit fit_weighted_impl(std::span<const double> xs,
+                            std::span<const double> ys,
+                            std::span<const double> ws) {
+  const std::size_t n = xs.size();
+  require<NumericsError>(n >= 2, "linear fit needs at least two points");
+  require<NumericsError>(ys.size() == n && ws.size() == n,
+                         "linear fit size mismatch");
+
+  double sw = 0.0, swx = 0.0, swy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    require<NumericsError>(ws[i] > 0.0, "weights must be positive");
+    sw += ws[i];
+    swx += ws[i] * xs[i];
+    swy += ws[i] * ys[i];
+  }
+  const double xbar = swx / sw;
+  const double ybar = swy / sw;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - xbar;
+    const double dy = ys[i] - ybar;
+    sxx += ws[i] * dx * dx;
+    sxy += ws[i] * dx * dy;
+    syy += ws[i] * dy * dy;
+  }
+  require<NumericsError>(sxx > 0.0,
+                         "linear fit: abscissae are degenerate (all equal)");
+
+  LinearFit fit;
+  fit.n = n;
+  fit.slope = sxy / sxx;
+  fit.intercept = ybar - fit.slope * xbar;
+
+  double sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = ys[i] - fit.predict(xs[i]);
+    sse += ws[i] * r * r;
+  }
+  fit.r_squared = (syy > 0.0) ? 1.0 - sse / syy : 1.0;
+
+  if (n > 2) {
+    const double mse = sse / static_cast<double>(n - 2);
+    fit.residual_stddev = std::sqrt(mse);
+    fit.slope_stderr = std::sqrt(mse / sxx);
+    fit.intercept_stderr = std::sqrt(mse * (1.0 / sw + xbar * xbar / sxx));
+  }
+  return fit;
+}
+
+}  // namespace
+
+LinearFit fit_ols(std::span<const double> xs, std::span<const double> ys) {
+  const std::vector<double> ws(xs.size(), 1.0);
+  return fit_weighted_impl(xs, ys, ws);
+}
+
+LinearFit fit_wls(std::span<const double> xs, std::span<const double> ys,
+                  std::span<const double> ws) {
+  return fit_weighted_impl(xs, ys, ws);
+}
+
+}  // namespace biosens

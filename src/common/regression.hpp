@@ -1,0 +1,41 @@
+// Least-squares regression kernels.
+//
+// The calibration engine fits the linear region of a current-vs-
+// concentration curve; sensitivity is the fitted slope, the limit of
+// detection is 3*sigma_blank / slope. Both ordinary and weighted least
+// squares are provided, along with the standard errors needed to report
+// confidence on the figures of merit.
+#pragma once
+
+#include <span>
+
+namespace biosens {
+
+/// Result of a straight-line fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;       ///< coefficient of determination
+  double slope_stderr = 0.0;    ///< standard error of the slope
+  double intercept_stderr = 0.0;
+  double residual_stddev = 0.0;  ///< sqrt(SSE / (n - 2)); 0 when n == 2
+  std::size_t n = 0;
+
+  /// Predicted response at x.
+  [[nodiscard]] double predict(double x) const {
+    return slope * x + intercept;
+  }
+};
+
+/// Ordinary least squares over (xs, ys). Requires >= 2 points and
+/// non-degenerate xs (not all equal).
+[[nodiscard]] LinearFit fit_ols(std::span<const double> xs,
+                                std::span<const double> ys);
+
+/// Weighted least squares with per-point weights (typically 1/sigma_i^2).
+/// Requires >= 2 points, positive weights, non-degenerate xs.
+[[nodiscard]] LinearFit fit_wls(std::span<const double> xs,
+                                std::span<const double> ys,
+                                std::span<const double> ws);
+
+}  // namespace biosens

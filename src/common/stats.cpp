@@ -1,0 +1,81 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace biosens {
+
+double mean(std::span<const double> xs) {
+  require<NumericsError>(!xs.empty(), "mean of empty sample");
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  require<NumericsError>(xs.size() >= 2,
+                         "sample variance needs at least two values");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(std::span<const double> xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+double median(std::span<const double> xs) {
+  require<NumericsError>(!xs.empty(), "median of empty sample");
+  std::vector<double> tmp(xs.begin(), xs.end());
+  const std::size_t mid = tmp.size() / 2;
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<long>(mid),
+                   tmp.end());
+  const double hi = tmp[mid];
+  if (tmp.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(tmp.begin(), tmp.begin() + static_cast<long>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  require<NumericsError>(!xs.empty(), "percentile of empty sample");
+  require<NumericsError>(p >= 0.0 && p <= 100.0,
+                         "percentile p must be in [0, 100]");
+  std::vector<double> tmp(xs.begin(), xs.end());
+  std::sort(tmp.begin(), tmp.end());
+  if (tmp.size() == 1) return tmp[0];
+  const double rank = p / 100.0 * static_cast<double>(tmp.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, tmp.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return tmp[lo] + frac * (tmp[hi] - tmp[lo]);
+}
+
+double rms(std::span<const double> xs) {
+  require<NumericsError>(!xs.empty(), "rms of empty sample");
+  double ss = 0.0;
+  for (double x : xs) ss += x * x;
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+Summary summarize(std::span<const double> xs) {
+  require<NumericsError>(!xs.empty(), "summary of empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = xs.size() >= 2 ? sample_stddev(xs) : 0.0;
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  s.min = *mn;
+  s.max = *mx;
+  s.median = median(xs);
+  return s;
+}
+
+}  // namespace biosens

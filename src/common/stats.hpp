@@ -1,0 +1,42 @@
+// Descriptive statistics used by the noise/LOD analysis and the benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace biosens {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Arithmetic mean. Requires a non-empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample variance with n-1 denominator (two-pass, numerically stable).
+/// Requires at least two values.
+[[nodiscard]] double sample_variance(std::span<const double> xs);
+
+/// Sample standard deviation. Requires at least two values.
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+/// Median (copies and selects). Requires a non-empty sample.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Root-mean-square of the sample.
+[[nodiscard]] double rms(std::span<const double> xs);
+
+/// One-shot summary of a sample (requires at least one value; stddev is 0
+/// for singleton samples).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace biosens

@@ -1,0 +1,94 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace biosens {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string md_escape(const std::string& cell) {
+  std::string out;
+  for (char c : cell) {
+    if (c == '|') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require<Error>(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require<Error>(row.size() == header_.size(),
+                 "row width does not match the header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const std::string& h : header_) out += " " + md_escape(h) + " |";
+  out += "\n|";
+  for (std::size_t i = 0; i < header_.size(); ++i) out += "---|";
+  out += "\n";
+  for (const auto& row : rows_) {
+    out += "|";
+    for (const std::string& cell : row) out += " " + md_escape(cell) + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+void Table::write_file(const std::string& path,
+                       const std::string& content) {
+  std::ofstream file(path, std::ios::binary);
+  require<Error>(file.good(), "cannot open '" + path + "' for writing");
+  file << content;
+  require<Error>(file.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace biosens

@@ -1,0 +1,43 @@
+// Result-table export: CSV and Markdown writers.
+//
+// The benches print their tables to stdout; downstream users usually
+// want files they can diff or plot. TableWriter renders one rectangular
+// table of strings to CSV (RFC-4180 quoting) or Markdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace biosens {
+
+/// A rectangular table of cells with one header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic cells with %.6g.
+  void add_row_numeric(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// RFC-4180 CSV (cells containing commas/quotes/newlines are quoted,
+  /// quotes doubled).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// GitHub-flavored Markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+  /// Writes `content` to `path`; throws Error on I/O failure.
+  static void write_file(const std::string& path,
+                         const std::string& content);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace biosens

@@ -1,0 +1,58 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace biosens {
+namespace {
+
+std::string format(double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g %s", v, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(Sensitivity s) {
+  return format(s.micro_amp_per_milli_molar_cm2(), "uA/mM/cm^2");
+}
+
+std::string to_string(Concentration c) {
+  const double mm = c.milli_molar();
+  if (std::abs(mm) >= 1.0) return format(mm, "mM");
+  if (std::abs(mm) >= 1e-3) return format(c.micro_molar(), "uM");
+  return format(c.nano_molar(), "nM");
+}
+
+std::string to_string(Area a) {
+  return format(a.square_millimeters(), "mm^2");
+}
+
+std::string to_string(Potential p) {
+  if (std::abs(p.volts()) >= 1.0) return format(p.volts(), "V");
+  return format(p.millivolts(), "mV");
+}
+
+std::string to_string(Current i) {
+  const double a = std::abs(i.amps());
+  if (a >= 1e-3) return format(i.milli_amps(), "mA");
+  if (a >= 1e-6) return format(i.micro_amps(), "uA");
+  if (a >= 1e-9) return format(i.nano_amps(), "nA");
+  return format(i.pico_amps(), "pA");
+}
+
+std::string to_string(Volume v) {
+  const double ul = v.microliters();
+  if (std::abs(ul) >= 1e3) return format(v.milliliters(), "mL");
+  return format(ul, "uL");
+}
+
+std::string to_string(Time t) {
+  const double s = t.seconds();
+  if (std::abs(s) >= 120.0) return format(t.minutes(), "min");
+  if (std::abs(s) >= 1.0) return format(s, "s");
+  return format(t.milliseconds(), "ms");
+}
+
+}  // namespace biosens

@@ -1,0 +1,532 @@
+// Strong unit types for electrochemical quantities.
+//
+// The biosensor domain routinely mixes microamps with milliamps and
+// millimolar with micromolar; the paper's headline numbers are reported in
+// the composite unit uA*mM^-1*cm^-2. To prevent scale mistakes, every
+// physical quantity in the library is a distinct type storing its value in
+// a canonical SI-derived unit, constructed and read back only through
+// explicitly named factories/accessors:
+//
+//   auto c = Concentration::micro_molar(70.0);
+//   double mm = c.milli_molar();           // 0.07
+//   Sensitivity s = Sensitivity::micro_amp_per_milli_molar_cm2(55.5);
+//
+// Arithmetic is provided within a unit (add/subtract/scale) and across
+// units only where physically meaningful (Current = CurrentDensity * Area,
+// Charge = Current * Time, ...).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace biosens {
+
+/// CRTP base providing value storage and dimension-preserving arithmetic.
+/// Derived types expose named unit factories and accessors only; the raw
+/// canonical value is available via raw() for serialization and numerics.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  /// Canonical value (documented per derived type). Prefer the named
+  /// accessors in application code.
+  [[nodiscard]] constexpr double raw() const { return value_; }
+
+  /// Builds a quantity directly from a canonical value. Intended for
+  /// numerics code that has computed the canonical value already.
+  [[nodiscard]] static constexpr Derived from_raw(double v) {
+    return Derived(v);
+  }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return from_raw(a.value_ + b.value_);
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return from_raw(a.value_ - b.value_);
+  }
+  friend constexpr Derived operator-(Derived a) { return from_raw(-a.value_); }
+  friend constexpr Derived operator*(Derived a, double k) {
+    return from_raw(a.value_ * k);
+  }
+  friend constexpr Derived operator*(double k, Derived a) {
+    return from_raw(a.value_ * k);
+  }
+  friend constexpr Derived operator/(Derived a, double k) {
+    return from_raw(a.value_ / k);
+  }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value_ == b.value_;
+  }
+
+  Derived& operator+=(Derived b) {
+    value_ += b.value_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived b) {
+    value_ -= b.value_;
+    return static_cast<Derived&>(*this);
+  }
+
+ protected:
+  explicit constexpr Quantity(double v) : value_(v) {}
+  double value_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Base quantities
+// ---------------------------------------------------------------------------
+
+/// Time. Canonical unit: second.
+class Time : public Quantity<Time> {
+ public:
+  constexpr Time() = default;
+  [[nodiscard]] static constexpr Time seconds(double v) { return Time(v); }
+  [[nodiscard]] static constexpr Time milliseconds(double v) {
+    return Time(v * 1e-3);
+  }
+  [[nodiscard]] static constexpr Time minutes(double v) {
+    return Time(v * 60.0);
+  }
+  [[nodiscard]] constexpr double seconds() const { return value_; }
+  [[nodiscard]] constexpr double milliseconds() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double minutes() const { return value_ / 60.0; }
+
+ private:
+  friend class Quantity<Time>;
+  explicit constexpr Time(double v) : Quantity(v) {}
+};
+
+/// Electric potential. Canonical unit: volt.
+class Potential : public Quantity<Potential> {
+ public:
+  constexpr Potential() = default;
+  [[nodiscard]] static constexpr Potential volts(double v) {
+    return Potential(v);
+  }
+  [[nodiscard]] static constexpr Potential millivolts(double v) {
+    return Potential(v * 1e-3);
+  }
+  [[nodiscard]] constexpr double volts() const { return value_; }
+  [[nodiscard]] constexpr double millivolts() const { return value_ * 1e3; }
+
+ private:
+  friend class Quantity<Potential>;
+  explicit constexpr Potential(double v) : Quantity(v) {}
+};
+
+/// Electric current. Canonical unit: ampere.
+class Current : public Quantity<Current> {
+ public:
+  constexpr Current() = default;
+  [[nodiscard]] static constexpr Current amps(double v) { return Current(v); }
+  [[nodiscard]] static constexpr Current milli_amps(double v) {
+    return Current(v * 1e-3);
+  }
+  [[nodiscard]] static constexpr Current micro_amps(double v) {
+    return Current(v * 1e-6);
+  }
+  [[nodiscard]] static constexpr Current nano_amps(double v) {
+    return Current(v * 1e-9);
+  }
+  [[nodiscard]] static constexpr Current pico_amps(double v) {
+    return Current(v * 1e-12);
+  }
+  [[nodiscard]] constexpr double amps() const { return value_; }
+  [[nodiscard]] constexpr double milli_amps() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double micro_amps() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double nano_amps() const { return value_ * 1e9; }
+  [[nodiscard]] constexpr double pico_amps() const { return value_ * 1e12; }
+
+ private:
+  friend class Quantity<Current>;
+  explicit constexpr Current(double v) : Quantity(v) {}
+};
+
+/// Amount-of-substance concentration. Canonical unit: mol/m^3, which is
+/// numerically identical to mmol/L (mM) — the unit the paper reports
+/// linear ranges in.
+class Concentration : public Quantity<Concentration> {
+ public:
+  constexpr Concentration() = default;
+  [[nodiscard]] static constexpr Concentration molar(double v) {
+    return Concentration(v * 1e3);
+  }
+  [[nodiscard]] static constexpr Concentration milli_molar(double v) {
+    return Concentration(v);
+  }
+  [[nodiscard]] static constexpr Concentration micro_molar(double v) {
+    return Concentration(v * 1e-3);
+  }
+  [[nodiscard]] static constexpr Concentration nano_molar(double v) {
+    return Concentration(v * 1e-6);
+  }
+  [[nodiscard]] constexpr double molar() const { return value_ * 1e-3; }
+  [[nodiscard]] constexpr double milli_molar() const { return value_; }
+  [[nodiscard]] constexpr double micro_molar() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double nano_molar() const { return value_ * 1e6; }
+
+ private:
+  friend class Quantity<Concentration>;
+  explicit constexpr Concentration(double v) : Quantity(v) {}
+};
+
+/// Surface area. Canonical unit: m^2. The paper's electrodes are 13 mm^2
+/// (screen-printed) and 0.25 mm^2 (microfabricated Au).
+class Area : public Quantity<Area> {
+ public:
+  constexpr Area() = default;
+  [[nodiscard]] static constexpr Area square_meters(double v) {
+    return Area(v);
+  }
+  [[nodiscard]] static constexpr Area square_centimeters(double v) {
+    return Area(v * 1e-4);
+  }
+  [[nodiscard]] static constexpr Area square_millimeters(double v) {
+    return Area(v * 1e-6);
+  }
+  [[nodiscard]] constexpr double square_meters() const { return value_; }
+  [[nodiscard]] constexpr double square_centimeters() const {
+    return value_ * 1e4;
+  }
+  [[nodiscard]] constexpr double square_millimeters() const {
+    return value_ * 1e6;
+  }
+
+ private:
+  friend class Quantity<Area>;
+  explicit constexpr Area(double v) : Quantity(v) {}
+};
+
+/// Sample volume. Canonical unit: m^3.
+class Volume : public Quantity<Volume> {
+ public:
+  constexpr Volume() = default;
+  [[nodiscard]] static constexpr Volume liters(double v) {
+    return Volume(v * 1e-3);
+  }
+  [[nodiscard]] static constexpr Volume milliliters(double v) {
+    return Volume(v * 1e-6);
+  }
+  [[nodiscard]] static constexpr Volume microliters(double v) {
+    return Volume(v * 1e-9);
+  }
+  [[nodiscard]] constexpr double liters() const { return value_ * 1e3; }
+  [[nodiscard]] constexpr double milliliters() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double microliters() const { return value_ * 1e9; }
+
+ private:
+  friend class Quantity<Volume>;
+  explicit constexpr Volume(double v) : Quantity(v) {}
+};
+
+// ---------------------------------------------------------------------------
+// Derived quantities
+// ---------------------------------------------------------------------------
+
+/// Current per electrode area. Canonical unit: A/m^2.
+class CurrentDensity : public Quantity<CurrentDensity> {
+ public:
+  constexpr CurrentDensity() = default;
+  [[nodiscard]] static constexpr CurrentDensity amps_per_m2(double v) {
+    return CurrentDensity(v);
+  }
+  /// uA/cm^2 — the conventional electroanalytical unit.
+  [[nodiscard]] static constexpr CurrentDensity micro_amps_per_cm2(double v) {
+    return CurrentDensity(v * 1e-2);
+  }
+  [[nodiscard]] constexpr double amps_per_m2() const { return value_; }
+  [[nodiscard]] constexpr double micro_amps_per_cm2() const {
+    return value_ * 1e2;
+  }
+
+ private:
+  friend class Quantity<CurrentDensity>;
+  explicit constexpr CurrentDensity(double v) : Quantity(v) {}
+};
+
+/// Calibration-curve slope normalized by electrode area — the paper's
+/// headline figure of merit. Canonical unit: A * m^-2 * (mol/m^3)^-1.
+/// 1 uA*mM^-1*cm^-2 == 1e-2 canonical.
+class Sensitivity : public Quantity<Sensitivity> {
+ public:
+  constexpr Sensitivity() = default;
+  [[nodiscard]] static constexpr Sensitivity canonical(double v) {
+    return Sensitivity(v);
+  }
+  [[nodiscard]] static constexpr Sensitivity micro_amp_per_milli_molar_cm2(
+      double v) {
+    return Sensitivity(v * 1e-2);
+  }
+  [[nodiscard]] constexpr double micro_amp_per_milli_molar_cm2() const {
+    return value_ * 1e2;
+  }
+
+ private:
+  friend class Quantity<Sensitivity>;
+  explicit constexpr Sensitivity(double v) : Quantity(v) {}
+};
+
+/// Diffusion coefficient. Canonical unit: m^2/s. Small molecules in water
+/// are around 1e-9 m^2/s (= 1e-5 cm^2/s).
+class Diffusivity : public Quantity<Diffusivity> {
+ public:
+  constexpr Diffusivity() = default;
+  [[nodiscard]] static constexpr Diffusivity m2_per_s(double v) {
+    return Diffusivity(v);
+  }
+  [[nodiscard]] static constexpr Diffusivity cm2_per_s(double v) {
+    return Diffusivity(v * 1e-4);
+  }
+  [[nodiscard]] constexpr double m2_per_s() const { return value_; }
+  [[nodiscard]] constexpr double cm2_per_s() const { return value_ * 1e4; }
+
+ private:
+  friend class Quantity<Diffusivity>;
+  explicit constexpr Diffusivity(double v) : Quantity(v) {}
+};
+
+/// Surface coverage of immobilized protein (Gamma). Canonical unit:
+/// mol/m^2. Adsorbed enzyme monolayers are of order 1e-12..1e-10 mol/cm^2.
+class SurfaceCoverage : public Quantity<SurfaceCoverage> {
+ public:
+  constexpr SurfaceCoverage() = default;
+  [[nodiscard]] static constexpr SurfaceCoverage mol_per_m2(double v) {
+    return SurfaceCoverage(v);
+  }
+  [[nodiscard]] static constexpr SurfaceCoverage mol_per_cm2(double v) {
+    return SurfaceCoverage(v * 1e4);
+  }
+  [[nodiscard]] static constexpr SurfaceCoverage pico_mol_per_cm2(double v) {
+    return SurfaceCoverage(v * 1e-12 * 1e4);
+  }
+  [[nodiscard]] constexpr double mol_per_m2() const { return value_; }
+  [[nodiscard]] constexpr double mol_per_cm2() const { return value_ * 1e-4; }
+  [[nodiscard]] constexpr double pico_mol_per_cm2() const {
+    return value_ * 1e-4 * 1e12;
+  }
+
+ private:
+  friend class Quantity<SurfaceCoverage>;
+  explicit constexpr SurfaceCoverage(double v) : Quantity(v) {}
+};
+
+/// First-order rate constant (e.g. enzyme turnover k_cat). Canonical
+/// unit: 1/s.
+class Rate : public Quantity<Rate> {
+ public:
+  constexpr Rate() = default;
+  [[nodiscard]] static constexpr Rate per_second(double v) { return Rate(v); }
+  [[nodiscard]] constexpr double per_second() const { return value_; }
+
+ private:
+  friend class Quantity<Rate>;
+  explicit constexpr Rate(double v) : Quantity(v) {}
+};
+
+/// Potentiostat sweep rate for voltammetry. Canonical unit: V/s.
+class ScanRate : public Quantity<ScanRate> {
+ public:
+  constexpr ScanRate() = default;
+  [[nodiscard]] static constexpr ScanRate volts_per_second(double v) {
+    return ScanRate(v);
+  }
+  [[nodiscard]] static constexpr ScanRate millivolts_per_second(double v) {
+    return ScanRate(v * 1e-3);
+  }
+  [[nodiscard]] constexpr double volts_per_second() const { return value_; }
+  [[nodiscard]] constexpr double millivolts_per_second() const {
+    return value_ * 1e3;
+  }
+
+ private:
+  friend class Quantity<ScanRate>;
+  explicit constexpr ScanRate(double v) : Quantity(v) {}
+};
+
+/// Electrical resistance. Canonical unit: ohm.
+class Resistance : public Quantity<Resistance> {
+ public:
+  constexpr Resistance() = default;
+  [[nodiscard]] static constexpr Resistance ohms(double v) {
+    return Resistance(v);
+  }
+  [[nodiscard]] static constexpr Resistance kilo_ohms(double v) {
+    return Resistance(v * 1e3);
+  }
+  [[nodiscard]] static constexpr Resistance mega_ohms(double v) {
+    return Resistance(v * 1e6);
+  }
+  [[nodiscard]] constexpr double ohms() const { return value_; }
+  [[nodiscard]] constexpr double kilo_ohms() const { return value_ * 1e-3; }
+  [[nodiscard]] constexpr double mega_ohms() const { return value_ * 1e-6; }
+
+ private:
+  friend class Quantity<Resistance>;
+  explicit constexpr Resistance(double v) : Quantity(v) {}
+};
+
+/// Capacitance. Canonical unit: farad. Double-layer capacitance of carbon
+/// electrodes is of order 10-100 uF/cm^2.
+class Capacitance : public Quantity<Capacitance> {
+ public:
+  constexpr Capacitance() = default;
+  [[nodiscard]] static constexpr Capacitance farads(double v) {
+    return Capacitance(v);
+  }
+  [[nodiscard]] static constexpr Capacitance micro_farads(double v) {
+    return Capacitance(v * 1e-6);
+  }
+  [[nodiscard]] static constexpr Capacitance nano_farads(double v) {
+    return Capacitance(v * 1e-9);
+  }
+  [[nodiscard]] constexpr double farads() const { return value_; }
+  [[nodiscard]] constexpr double micro_farads() const { return value_ * 1e6; }
+  [[nodiscard]] constexpr double nano_farads() const { return value_ * 1e9; }
+
+ private:
+  friend class Quantity<Capacitance>;
+  explicit constexpr Capacitance(double v) : Quantity(v) {}
+};
+
+/// Electric charge. Canonical unit: coulomb.
+class Charge : public Quantity<Charge> {
+ public:
+  constexpr Charge() = default;
+  [[nodiscard]] static constexpr Charge coulombs(double v) {
+    return Charge(v);
+  }
+  [[nodiscard]] static constexpr Charge micro_coulombs(double v) {
+    return Charge(v * 1e-6);
+  }
+  [[nodiscard]] constexpr double coulombs() const { return value_; }
+  [[nodiscard]] constexpr double micro_coulombs() const {
+    return value_ * 1e6;
+  }
+
+ private:
+  friend class Quantity<Charge>;
+  explicit constexpr Charge(double v) : Quantity(v) {}
+};
+
+/// Sampling or corner frequency. Canonical unit: hertz.
+class Frequency : public Quantity<Frequency> {
+ public:
+  constexpr Frequency() = default;
+  [[nodiscard]] static constexpr Frequency hertz(double v) {
+    return Frequency(v);
+  }
+  [[nodiscard]] static constexpr Frequency kilo_hertz(double v) {
+    return Frequency(v * 1e3);
+  }
+  [[nodiscard]] constexpr double hertz() const { return value_; }
+  [[nodiscard]] constexpr double kilo_hertz() const { return value_ * 1e-3; }
+
+ private:
+  friend class Quantity<Frequency>;
+  explicit constexpr Frequency(double v) : Quantity(v) {}
+};
+
+/// Absolute temperature. Canonical unit: kelvin.
+class Temperature : public Quantity<Temperature> {
+ public:
+  constexpr Temperature() = default;
+  [[nodiscard]] static constexpr Temperature kelvin(double v) {
+    return Temperature(v);
+  }
+  [[nodiscard]] static constexpr Temperature celsius(double v) {
+    return Temperature(v + 273.15);
+  }
+  [[nodiscard]] constexpr double kelvin() const { return value_; }
+  [[nodiscard]] constexpr double celsius() const { return value_ - 273.15; }
+
+ private:
+  friend class Quantity<Temperature>;
+  explicit constexpr Temperature(double v) : Quantity(v) {}
+};
+
+// ---------------------------------------------------------------------------
+// Physically meaningful cross-unit arithmetic
+// ---------------------------------------------------------------------------
+
+/// i = j * A
+[[nodiscard]] constexpr Current operator*(CurrentDensity j, Area a) {
+  return Current::amps(j.amps_per_m2() * a.square_meters());
+}
+[[nodiscard]] constexpr Current operator*(Area a, CurrentDensity j) {
+  return j * a;
+}
+
+/// j = i / A
+[[nodiscard]] constexpr CurrentDensity operator/(Current i, Area a) {
+  return CurrentDensity::amps_per_m2(i.amps() / a.square_meters());
+}
+
+/// Q = i * t
+[[nodiscard]] constexpr Charge operator*(Current i, Time t) {
+  return Charge::coulombs(i.amps() * t.seconds());
+}
+[[nodiscard]] constexpr Charge operator*(Time t, Current i) { return i * t; }
+
+/// V = i * R
+[[nodiscard]] constexpr Potential operator*(Current i, Resistance r) {
+  return Potential::volts(i.amps() * r.ohms());
+}
+[[nodiscard]] constexpr Potential operator*(Resistance r, Current i) {
+  return i * r;
+}
+
+/// i = V / R
+[[nodiscard]] constexpr Current operator/(Potential v, Resistance r) {
+  return Current::amps(v.volts() / r.ohms());
+}
+
+/// Sensitivity = (current density) / concentration
+[[nodiscard]] constexpr Sensitivity operator/(CurrentDensity j,
+                                              Concentration c) {
+  return Sensitivity::canonical(j.amps_per_m2() / c.milli_molar());
+}
+
+/// Current density predicted by a sensitivity at a concentration.
+[[nodiscard]] constexpr CurrentDensity operator*(Sensitivity s,
+                                                 Concentration c) {
+  return CurrentDensity::amps_per_m2(s.raw() * c.milli_molar());
+}
+[[nodiscard]] constexpr CurrentDensity operator*(Concentration c,
+                                                 Sensitivity s) {
+  return s * c;
+}
+
+/// Potential traversed by a sweep in a time interval.
+[[nodiscard]] constexpr Potential operator*(ScanRate v, Time t) {
+  return Potential::volts(v.volts_per_second() * t.seconds());
+}
+
+// ---------------------------------------------------------------------------
+// Formatting helpers (implemented in units.cpp)
+// ---------------------------------------------------------------------------
+
+/// "55.50 uA/mM/cm^2" — the unit string the paper's Table 2 uses.
+[[nodiscard]] std::string to_string(Sensitivity s);
+/// "2.0 uM" / "1.50 mM" — picks the scale that reads naturally.
+[[nodiscard]] std::string to_string(Concentration c);
+/// "13.0 mm^2"
+[[nodiscard]] std::string to_string(Area a);
+/// "650 mV"
+[[nodiscard]] std::string to_string(Potential p);
+/// Picks nA/uA/mA scale.
+[[nodiscard]] std::string to_string(Current i);
+/// "50 uL" / "2 mL"
+[[nodiscard]] std::string to_string(Volume v);
+/// Picks s/ms/min scale.
+[[nodiscard]] std::string to_string(Time t);
+
+}  // namespace biosens

@@ -1,0 +1,34 @@
+// The five classification axes of Section 3, computed from a SensorSpec.
+//
+// "Following the classification presented in Section 2, our biosensor
+// can be described as following: Target: molecules, drugs / Sensing
+// element: enzymes / Transduction mechanism: electrochemical
+// (amperometric) / Nanotechnology-based: carbon nanotubes / Electrode
+// type: disposable, integrated." This header derives exactly that tuple
+// from any SensorSpec, so platform devices answer survey queries with
+// the same vocabulary as the literature database.
+#pragma once
+
+#include "classify/taxonomy.hpp"
+#include "core/spec.hpp"
+
+namespace biosens::core {
+
+/// The five-axis classification of a device.
+struct Classification {
+  classify::TargetClass target;
+  classify::SensingElement element;
+  classify::Transduction transduction;
+  classify::Nanomaterial nanomaterial;
+  classify::ElectrodeTechnology electrode;
+};
+
+/// Derives the classification tuple from a spec:
+///  - target class from the species registry kind,
+///  - sensing element: enzymes (the platform has no other probes),
+///  - transduction: amperometric (all platform techniques are),
+///  - nanomaterial from the modification descriptor,
+///  - electrode technology from the geometry.
+[[nodiscard]] Classification classify_spec(const SensorSpec& spec);
+
+}  // namespace biosens::core

@@ -1,0 +1,106 @@
+#include "core/deconvolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace biosens::core {
+
+PanelModel characterize_panel(
+    const std::vector<const BiosensorModel*>& sensors,
+    const std::vector<Concentration>& probe_levels) {
+  const std::size_t n = sensors.size();
+  require<SpecError>(n >= 1, "panel needs at least one sensor");
+  require<SpecError>(probe_levels.size() == n,
+                     "one probe level per sensor/target");
+
+  PanelModel model;
+  model.targets.reserve(n);
+  for (const BiosensorModel* s : sensors) {
+    require<SpecError>(s != nullptr, "null sensor in panel");
+    model.targets.push_back(s->spec().target);
+  }
+
+  model.intercept_a.reserve(n);
+  const chem::Sample blank = chem::blank_sample();
+  for (const BiosensorModel* s : sensors) {
+    model.intercept_a.push_back(s->ideal_response_a(blank));
+  }
+
+  model.slope.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t j = 0; j < n; ++j) {
+    require<SpecError>(probe_levels[j].milli_molar() > 0.0,
+                       "probe level must be positive");
+    const chem::Sample probe =
+        chem::calibration_sample(model.targets[j], probe_levels[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      model.slope[i][j] =
+          (sensors[i]->ideal_response_a(probe) - model.intercept_a[i]) /
+          probe_levels[j].milli_molar();
+    }
+  }
+  return model;
+}
+
+std::vector<Concentration> naive_estimates(
+    const PanelModel& model, const std::vector<double>& responses_a) {
+  const std::size_t n = model.targets.size();
+  require<AnalysisError>(responses_a.size() == n,
+                         "one response per sensor");
+  std::vector<Concentration> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    require<AnalysisError>(model.slope[i][i] > 0.0,
+                           "sensor has no self-sensitivity");
+    out.push_back(Concentration::milli_molar(
+        std::max((responses_a[i] - model.intercept_a[i]) /
+                     model.slope[i][i],
+                 0.0)));
+  }
+  return out;
+}
+
+std::vector<Concentration> deconvolve(
+    const PanelModel& model, const std::vector<double>& responses_a) {
+  const std::size_t n = model.targets.size();
+  require<AnalysisError>(responses_a.size() == n,
+                         "one response per sensor");
+  std::vector<double> rhs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rhs[i] = responses_a[i] - model.intercept_a[i];
+  }
+  const std::vector<double> solved = solve_dense(model.slope, rhs);
+  std::vector<Concentration> out;
+  out.reserve(n);
+  for (double c : solved) {
+    out.push_back(Concentration::milli_molar(std::max(c, 0.0)));
+  }
+  return out;
+}
+
+double panel_collinearity(const PanelModel& model) {
+  const std::size_t n = model.targets.size();
+  require<AnalysisError>(n >= 1, "empty panel");
+  // Normalize rows, then take the largest |cosine| between any pair.
+  std::vector<std::vector<double>> rows = model.slope;
+  for (auto& row : rows) {
+    double norm = 0.0;
+    for (double v : row) norm += v * v;
+    norm = std::sqrt(norm);
+    require<AnalysisError>(norm > 0.0, "panel row is all-zero");
+    for (double& v : row) v /= norm;
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) dot += rows[i][k] * rows[j][k];
+      worst = std::max(worst, std::abs(dot));
+    }
+  }
+  return worst;
+}
+
+}  // namespace biosens::core

@@ -1,0 +1,55 @@
+// Multi-analyte panel deconvolution.
+//
+// The multi-panel serum scenario of [9] runs several CYP isoform sensors
+// side by side. Isoforms are selective but not perfectly so: CYP2B6 also
+// turns over ifosfamide (weakly), CYP3A4 also turns over
+// cyclophosphamide. Reading each sensor naively against its own
+// single-analyte calibration therefore over-reports whenever the sibling
+// drug is present. The fix is linear unmixing: characterize the panel's
+// cross-sensitivity matrix once, then solve S * c = r - b per assay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/solution.hpp"
+#include "common/rng.hpp"
+#include "core/sensor.hpp"
+
+namespace biosens::core {
+
+/// The characterized response model of a sensor panel:
+/// response_i = intercept_i + sum_j slope[i][j] * conc_j.
+struct PanelModel {
+  std::vector<std::string> targets;  ///< one per sensor, in panel order
+  /// slope[i][j]: response of sensor i per mM of target j [A/mM].
+  std::vector<std::vector<double>> slope;
+  std::vector<double> intercept_a;   ///< blank response of each sensor
+};
+
+/// Characterizes the panel by probing each target alone at `probe` and
+/// measuring every sensor's ideal response (the one-time cross-
+/// calibration a lab would run with single-drug standards).
+[[nodiscard]] PanelModel characterize_panel(
+    const std::vector<const BiosensorModel*>& sensors,
+    const std::vector<Concentration>& probe_levels);
+
+/// Naive per-sensor estimates: each response inverted against its own
+/// diagonal slope only (what a cross-reactivity-blind instrument shows).
+[[nodiscard]] std::vector<Concentration> naive_estimates(
+    const PanelModel& model, const std::vector<double>& responses_a);
+
+/// Full linear unmixing: solves the cross-sensitivity system. Negative
+/// solutions (blank noise) clamp to zero.
+[[nodiscard]] std::vector<Concentration> deconvolve(
+    const PanelModel& model, const std::vector<double>& responses_a);
+
+/// Worst pairwise collinearity of the (row-normalized) sensitivity
+/// matrix, in [0, 1]. Two sensors built on the *same* isoform produce
+/// rows that are scalar multiples of each other (collinearity -> 1):
+/// their substrates cannot be resolved electrochemically, no matter the
+/// algebra. Check this before trusting deconvolve() — panels should stay
+/// below ~0.95.
+[[nodiscard]] double panel_collinearity(const PanelModel& model);
+
+}  // namespace biosens::core

@@ -1,0 +1,46 @@
+// Differential (dual working electrode) measurement.
+//
+// The paper's microfabricated chip carries *five* working electrodes in
+// one cell (Section 3.1). Dedicating one of them to an enzyme-free
+// reference film turns every measurement differential: both electrodes
+// see the same interferent oxidation, capacitive charging and matrix
+// drift, but only the active electrode sees the enzymatic signal — the
+// subtraction removes the common-mode background that limits single-
+// ended amperometry in serum.
+#pragma once
+
+#include "core/sensor.hpp"
+
+namespace biosens::core {
+
+/// A matched active/reference electrode pair.
+class DifferentialSensor {
+ public:
+  /// Builds the pair from the active spec; the reference is the same
+  /// assembly with a vanishing enzyme load (same film, same area, same
+  /// noise — no catalysis).
+  explicit DifferentialSensor(const SensorSpec& active,
+                              MeasurementOptions options = {});
+
+  /// Differential measurement: active minus reference response on the
+  /// same sample (the chip measures both channels concurrently).
+  [[nodiscard]] double measure_differential_a(const chem::Sample& sample,
+                                              Rng& rng) const;
+
+  /// Noiseless differential response.
+  [[nodiscard]] double ideal_differential_a(
+      const chem::Sample& sample) const;
+
+  [[nodiscard]] const BiosensorModel& active() const { return active_; }
+  [[nodiscard]] const BiosensorModel& reference() const {
+    return reference_;
+  }
+
+ private:
+  [[nodiscard]] static SensorSpec make_reference(SensorSpec spec);
+
+  BiosensorModel active_;
+  BiosensorModel reference_;
+};
+
+}  // namespace biosens::core

@@ -1,0 +1,116 @@
+#include "core/integration.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosens::core {
+
+double scaled_area_mm2(const Block& block, const TechnologyNode& node) {
+  require<SpecError>(node.feature_nm > 0.0, "feature size must be positive");
+  require<SpecError>(block.area_mm2_at_180nm > 0.0,
+                     "block area must be positive");
+  const double s = node.feature_nm / 180.0;  // < 1 for advanced nodes
+  switch (block.domain) {
+    case BlockDomain::kDigital:
+      // Classic Dennard-style area scaling.
+      return block.area_mm2_at_180nm * s * s;
+    case BlockDomain::kAnalog:
+      // Matching/noise/headroom keep analog area nearly flat; grant a
+      // weak improvement.
+      return block.area_mm2_at_180nm * std::pow(s, 0.3);
+    case BlockDomain::kRf:
+      return block.area_mm2_at_180nm * std::pow(s, 0.6);
+    case BlockDomain::kBio:
+      // The electrode area is set by electrochemistry, not lithography.
+      return block.area_mm2_at_180nm;
+  }
+  return block.area_mm2_at_180nm;
+}
+
+std::vector<Block> standard_system_blocks() {
+  return {
+      {"potentiostat AFE (TIA, DAC, mux)", BlockDomain::kAnalog, 1.8, 350.0},
+      {"ADC (16-bit SAR)", BlockDomain::kAnalog, 0.6, 120.0},
+      {"digital control + DSP", BlockDomain::kDigital, 4.0, 400.0},
+      {"RF telemetry", BlockDomain::kRf, 2.2, 900.0},
+      {"power management", BlockDomain::kAnalog, 1.0, 60.0},
+      {"biolayer (5-electrode array)", BlockDomain::kBio, 2.5, 0.0},
+  };
+}
+
+namespace {
+
+IntegrationReport summarize(std::string strategy, double area, double power,
+                            double nre, double silicon_cost,
+                            double consumable_cost_per_test,
+                            std::size_t units, std::size_t tests_per_unit) {
+  require<SpecError>(units >= 1 && tests_per_unit >= 1,
+                     "need at least one unit and one test");
+  IntegrationReport report;
+  report.strategy = std::move(strategy);
+  report.total_area_mm2 = area;
+  report.total_power_uw = power;
+  report.nre_cost = nre;
+  report.unit_cost = silicon_cost;
+  report.cost_per_test =
+      (nre / static_cast<double>(units) + silicon_cost) /
+          static_cast<double>(tests_per_unit) +
+      consumable_cost_per_test;
+  return report;
+}
+
+}  // namespace
+
+IntegrationReport monolithic(const std::vector<Block>& blocks,
+                             const TechnologyNode& node, std::size_t units,
+                             std::size_t tests_per_unit) {
+  double area = 0.0, power = 0.0;
+  for (const Block& b : blocks) {
+    area += scaled_area_mm2(b, node);
+    power += b.power_uw;
+  }
+  // Monolithic: the biolayer is fused to the die, so the *whole die* is
+  // a consumable once the biolayer is spent — tests_per_unit is limited
+  // by the biolayer, and the silicon cost recurs with it.
+  const double silicon = area * node.cost_per_mm2;
+  return summarize("monolithic (" + std::to_string(int(node.feature_nm)) +
+                       " nm)",
+                   area, power, node.nre_cost, silicon, 0.0, units,
+                   tests_per_unit);
+}
+
+IntegrationReport stacked_heterogeneous(
+    const std::vector<Block>& blocks, const TechnologyNode& digital_node,
+    const TechnologyNode& analog_node, double biolayer_cost,
+    std::size_t tests_per_biolayer, std::size_t units,
+    std::size_t tests_per_unit) {
+  require<SpecError>(biolayer_cost >= 0.0,
+                     "biolayer cost must be non-negative");
+  require<SpecError>(tests_per_biolayer >= 1,
+                     "biolayer must survive at least one test");
+
+  double area = 0.0, power = 0.0, silicon = 0.0;
+  for (const Block& b : blocks) {
+    if (b.domain == BlockDomain::kBio) {
+      area += scaled_area_mm2(b, digital_node);  // footprint only
+      continue;  // disposable; costed per test below
+    }
+    const TechnologyNode& node =
+        b.domain == BlockDomain::kDigital ? digital_node : analog_node;
+    const double a = scaled_area_mm2(b, node);
+    area += a;
+    power += b.power_uw;
+    silicon += a * node.cost_per_mm2;
+  }
+  // Two tape-outs (digital + analog layers), plus stacking overhead.
+  const double nre = digital_node.nre_cost + analog_node.nre_cost;
+  const double consumable =
+      biolayer_cost / static_cast<double>(tests_per_biolayer);
+  // The permanent stack amortizes over the unit's *full* test count.
+  return summarize("3-D heterogeneous stack [17]", area, power, nre,
+                   silicon * 1.15 /* TSV/assembly overhead */, consumable,
+                   units, tests_per_unit);
+}
+
+}  // namespace biosens::core

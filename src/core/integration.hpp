@@ -1,0 +1,90 @@
+// System integration economics: the Section 2.5 argument, quantified.
+//
+// "Scaling trends for the analog circuit, the digital unit, and the
+// biosensor itself are different, and so heterogeneous technologies may
+// be required [17]. A platform-based design style using heterogeneous
+// components and compositional rules eases the design process and
+// reduces the non-recurring engineering (NRE) costs..."
+//
+// This module models a biosensing system as a set of blocks (analog
+// front end, ADC, digital control, RF, power, and the biolayer), each
+// living in a silicon domain with its own scaling law, and compares
+// integration strategies: a monolithic single-die system vs the
+// 3-D stacked heterogeneous system of Guiducci et al. [17] with a
+// disposable biolayer. Outputs: die area, power, NRE, unit cost, and
+// cost per test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace biosens::core {
+
+/// Silicon (or non-silicon) domain of a block; decides how its area
+/// responds to technology scaling.
+enum class BlockDomain {
+  kDigital,  ///< shrinks ~quadratically with feature size
+  kAnalog,   ///< barely shrinks (matching, noise, voltage headroom)
+  kRf,       ///< partially shrinks
+  kBio,      ///< the functionalized electrode: does not scale with CMOS
+};
+
+/// One system block.
+struct Block {
+  std::string name;
+  BlockDomain domain = BlockDomain::kDigital;
+  /// Area at the 180 nm reference node.
+  double area_mm2_at_180nm = 1.0;
+  /// Active power (node-independent to first order here).
+  double power_uw = 100.0;
+};
+
+/// A CMOS technology node.
+struct TechnologyNode {
+  double feature_nm = 180.0;
+  /// Wafer cost translated to cost per mm^2 of silicon.
+  double cost_per_mm2 = 0.05;
+  /// Mask-set / design NRE for taping out in this node.
+  double nre_cost = 250e3;
+};
+
+/// Area of a block when implemented in a node.
+[[nodiscard]] double scaled_area_mm2(const Block& block,
+                                     const TechnologyNode& node);
+
+/// The standard block set of a self-contained biosensing system
+/// (Section 2.5: "power source, transducer circuitry, control unit,
+/// wireless communication...").
+[[nodiscard]] std::vector<Block> standard_system_blocks();
+
+/// Cost/size summary of one integration strategy.
+struct IntegrationReport {
+  std::string strategy;
+  double total_area_mm2 = 0.0;
+  double total_power_uw = 0.0;
+  double nre_cost = 0.0;       ///< one-time
+  double unit_cost = 0.0;      ///< per manufactured system
+  double cost_per_test = 0.0;  ///< amortized, incl. disposable parts
+};
+
+/// Monolithic: every block on one die in one node. The analog and bio
+/// parts waste the advanced node's cost; the whole system is discarded
+/// when the biolayer is exhausted (it is not separable).
+[[nodiscard]] IntegrationReport monolithic(
+    const std::vector<Block>& blocks, const TechnologyNode& node,
+    std::size_t units, std::size_t tests_per_unit);
+
+/// Heterogeneous 3-D stack [17]: each block goes to the cheapest node
+/// that suits its domain (digital in `digital_node`, analog/RF in
+/// `analog_node`), and the biolayer is a separate disposable layer that
+/// costs `biolayer_cost` per replacement and survives
+/// `tests_per_biolayer` tests. The permanent stack is reused.
+[[nodiscard]] IntegrationReport stacked_heterogeneous(
+    const std::vector<Block>& blocks, const TechnologyNode& digital_node,
+    const TechnologyNode& analog_node, double biolayer_cost,
+    std::size_t tests_per_biolayer, std::size_t units,
+    std::size_t tests_per_unit);
+
+}  // namespace biosens::core

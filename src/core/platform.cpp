@@ -1,0 +1,165 @@
+#include "core/platform.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace biosens::core {
+
+const AssayResult& PanelReport::for_target(std::string_view target) const {
+  for (const AssayResult& r : results) {
+    if (r.target == target) return r;
+  }
+  throw AnalysisError("panel has no result for target '" +
+                      std::string(target) + "'");
+}
+
+std::size_t Platform::add_sensor(const CatalogEntry& entry,
+                                 MeasurementOptions options) {
+  require<SpecError>(calibrations_.empty(),
+                     "cannot add sensors after calibration");
+  sensors_.emplace_back(entry.spec, options);
+  entries_.push_back(entry);
+  return sensors_.size() - 1;
+}
+
+Platform Platform::paper_platform() {
+  Platform p;
+  for (const CatalogEntry& e : platform_entries()) {
+    p.add_sensor(e);
+  }
+  return p;
+}
+
+const BiosensorModel& Platform::sensor(std::size_t i) const {
+  require<SpecError>(i < sensors_.size(), "sensor index out of range");
+  return sensors_[i];
+}
+
+const analysis::CalibrationResult& Platform::calibration(
+    std::size_t i) const {
+  require<SpecError>(calibrated(), "platform is not calibrated");
+  require<SpecError>(i < calibrations_.size(), "sensor index out of range");
+  return calibrations_[i];
+}
+
+void Platform::calibrate_all(Rng& rng, const ProtocolOptions& options) {
+  calibrations_.clear();
+  calibrations_.reserve(sensors_.size());
+  const CalibrationProtocol protocol(options);
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    const std::vector<Concentration> series = standard_series(
+        entries_[i].published.range_low, entries_[i].published.range_high);
+    calibrations_.push_back(
+        protocol.run(sensors_[i], series, rng).result);
+  }
+}
+
+PanelReport Platform::assay(const chem::Sample& sample, Rng& rng) const {
+  require<SpecError>(calibrated(), "calibrate_all() before assay()");
+
+  PanelReport report;
+  report.results.reserve(sensors_.size());
+  Volume volume = Volume::microliters(0.0);
+
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    const BiosensorModel& sensor = sensors_[i];
+    const analysis::CalibrationResult& cal = calibrations_[i];
+
+    AssayResult r;
+    r.target = sensor.spec().target;
+    r.sensor_name = sensor.spec().name;
+    r.response_a = sensor.measure(sample, rng).response_a;
+
+    // Invert the calibration line; clamp negatives (noise around blank).
+    const double est_mm =
+        std::max((r.response_a - cal.fit.intercept) / cal.fit.slope, 0.0);
+    r.estimated = Concentration::milli_molar(est_mm);
+    r.above_lod = r.estimated >= cal.lod;
+    r.within_linear_range = r.estimated >= cal.linear_range_low &&
+                            r.estimated <= cal.linear_range_high;
+    r.qc = review_assay(cal, r.response_a);
+    report.results.push_back(std::move(r));
+
+    volume += sensor.spec().assembly.geometry.min_sample_volume;
+  }
+
+  report.total_measurement_time = scheduled_panel_time();
+  report.sample_volume_required = volume;
+  return report;
+}
+
+PanelReport Platform::assay_unmixed(const chem::Sample& sample,
+                                    Rng& rng) const {
+  require<SpecError>(calibrated(), "calibrate_all() before assay()");
+
+  // Characterize the cross-sensitivity matrix once per platform.
+  if (!panel_model_.has_value()) {
+    std::vector<const BiosensorModel*> pointers;
+    std::vector<Concentration> probes;
+    pointers.reserve(sensors_.size());
+    for (std::size_t i = 0; i < sensors_.size(); ++i) {
+      pointers.push_back(&sensors_[i]);
+      // Probe at half the device's design range.
+      probes.push_back(0.5 * entries_[i].published.range_high);
+    }
+    panel_model_ = characterize_panel(pointers, probes);
+  }
+  require<AnalysisError>(panel_collinearity(*panel_model_) < 0.98,
+                         "panel is chemically degenerate (same-isoform "
+                         "sensors); deconvolution cannot resolve it");
+
+  PanelReport report = assay(sample, rng);
+  std::vector<double> responses;
+  responses.reserve(report.results.size());
+  for (const AssayResult& r : report.results) {
+    responses.push_back(r.response_a);
+  }
+  const std::vector<Concentration> unmixed =
+      deconvolve(*panel_model_, responses);
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    AssayResult& r = report.results[i];
+    const analysis::CalibrationResult& cal = calibrations_[i];
+    r.estimated = unmixed[i];
+    r.above_lod = r.estimated >= cal.lod;
+    r.within_linear_range = r.estimated >= cal.linear_range_low &&
+                            r.estimated <= cal.linear_range_high;
+  }
+  return report;
+}
+
+Time Platform::measurement_time(const BiosensorModel& s) const {
+  if (s.spec().technique == Technique::kChronoamperometry) {
+    return s.spec().ca_hold;
+  }
+  const double window =
+      std::abs(s.spec().cv_vertex.volts() - s.spec().cv_start.volts());
+  return Time::seconds(2.0 * window /
+                       s.spec().cv_scan_rate.volts_per_second());
+}
+
+Time Platform::scheduled_panel_time() const {
+  // Channels on one microfabricated chip run concurrently (five working
+  // electrodes share the cell); every other electrode is sequential.
+  constexpr std::size_t kChipChannels = 5;
+  double chip_longest = 0.0;
+  std::size_t chip_used = 0;
+  double sequential = 0.0;
+
+  for (const BiosensorModel& s : sensors_) {
+    const double t = measurement_time(s).seconds();
+    const bool on_chip = s.spec().assembly.geometry.working_material ==
+                             electrode::Material::kGold &&
+                         s.spec().assembly.geometry.working_area <
+                             Area::square_millimeters(1.0);
+    if (on_chip && chip_used < kChipChannels) {
+      chip_longest = std::max(chip_longest, t);
+      ++chip_used;
+    } else {
+      sequential += t;
+    }
+  }
+  return Time::seconds(chip_longest + sequential);
+}
+
+}  // namespace biosens::core

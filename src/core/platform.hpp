@@ -1,0 +1,96 @@
+// The multi-target platform: several sensors operated as one instrument.
+//
+// This is the system claim of the paper's abstract — "a platform for
+// multiple target detection ... modular, with a clear separation between
+// the chemical and the electrical components". A Platform owns a set of
+// calibrated BiosensorModels, schedules their measurements under the
+// hardware constraints (the microfabricated chip carries five working
+// electrodes that share a counter/reference and can run concurrently;
+// screen-printed electrodes are measured one at a time), and converts raw
+// responses back into concentrations.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/catalog.hpp"
+#include "core/deconvolution.hpp"
+#include "core/protocol.hpp"
+#include "core/qc.hpp"
+#include "core/sensor.hpp"
+
+namespace biosens::core {
+
+/// One quantified analyte in an assay report.
+struct AssayResult {
+  std::string target;
+  std::string sensor_name;
+  double response_a = 0.0;
+  Concentration estimated;     ///< response mapped through the calibration
+  bool within_linear_range = true;
+  bool above_lod = true;
+  QcReport qc;                 ///< per-assay acceptance checks
+};
+
+/// A full panel readout.
+struct PanelReport {
+  std::vector<AssayResult> results;
+  Time total_measurement_time;  ///< wall time under the scheduler
+  Volume sample_volume_required;
+
+  /// Result for a target; throws AnalysisError when absent.
+  [[nodiscard]] const AssayResult& for_target(std::string_view target) const;
+};
+
+/// The multi-sensor instrument.
+class Platform {
+ public:
+  Platform() = default;
+
+  /// Adds a sensor built from a catalog entry. Returns its index.
+  std::size_t add_sensor(const CatalogEntry& entry,
+                         MeasurementOptions options = {});
+
+  /// Builds the paper's full seven-sensor platform (Table 1).
+  [[nodiscard]] static Platform paper_platform();
+
+  /// Calibrates every sensor over its standard series; must run before
+  /// assay(). Deterministic given the rng.
+  void calibrate_all(Rng& rng, const ProtocolOptions& options = {});
+
+  /// Measures every sensor against the sample and reports estimated
+  /// concentrations. Requires calibrate_all() first.
+  [[nodiscard]] PanelReport assay(const chem::Sample& sample, Rng& rng) const;
+
+  /// Like assay(), but additionally unmixes isoform cross-reactivity
+  /// through the panel's cross-sensitivity matrix (characterized once,
+  /// lazily). The per-target estimates in the report are the unmixed
+  /// concentrations. Throws AnalysisError when the panel is chemically
+  /// degenerate (collinearity above 0.98).
+  [[nodiscard]] PanelReport assay_unmixed(const chem::Sample& sample,
+                                          Rng& rng) const;
+
+  [[nodiscard]] std::size_t sensor_count() const { return sensors_.size(); }
+  [[nodiscard]] const BiosensorModel& sensor(std::size_t i) const;
+  [[nodiscard]] const analysis::CalibrationResult& calibration(
+      std::size_t i) const;
+  [[nodiscard]] bool calibrated() const { return !calibrations_.empty(); }
+
+  /// Wall time to run the whole panel once: concurrent within a
+  /// microfabricated chip (up to five channels), sequential otherwise.
+  [[nodiscard]] Time scheduled_panel_time() const;
+
+ private:
+  [[nodiscard]] Time measurement_time(const BiosensorModel& s) const;
+
+  std::vector<BiosensorModel> sensors_;
+  std::vector<CatalogEntry> entries_;
+  std::vector<analysis::CalibrationResult> calibrations_;
+  /// Cross-sensitivity model, characterized lazily by assay_unmixed().
+  mutable std::optional<PanelModel> panel_model_;
+};
+
+}  // namespace biosens::core

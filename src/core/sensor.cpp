@@ -1,0 +1,177 @@
+#include "core/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace biosens::core {
+namespace {
+
+/// Laviron surface-redox peak current of a layer at scan rate nu.
+Current surface_redox_peak(const electrode::EffectiveLayer& layer,
+                           ScanRate nu) {
+  const double n = layer.electrons;
+  const double f_over_rt =
+      constants::kFaraday /
+      (constants::kGasConstant * constants::kRoomTemperatureK);
+  return Current::amps(n * n * constants::kFaraday * f_over_rt *
+                       nu.volts_per_second() *
+                       layer.geometric_area.square_meters() *
+                       layer.wired_coverage.mol_per_m2() / 4.0);
+}
+
+}  // namespace
+
+BiosensorModel::BiosensorModel(SensorSpec spec, MeasurementOptions options)
+    : spec_(std::move(spec)),
+      options_(options),
+      layer_(electrode::synthesize(spec_.assembly)),
+      chain_(readout::SignalChain::for_full_scale(expected_full_scale())) {
+  spec_.validate();
+}
+
+Current BiosensorModel::expected_full_scale() const {
+  // Catalytic current at K_M is half the layer's maximum; double it and
+  // add background allowances so the rails never clip a real signal.
+  const Current half_max = layer_.catalytic_current(layer_.k_m_app);
+  double fs = 4.0 * std::abs(half_max.amps());
+  if (spec_.is_voltammetric()) {
+    fs += surface_redox_peak(layer_, spec_.cv_scan_rate).amps();
+    fs += layer_.double_layer.farads() *
+          spec_.cv_scan_rate.volts_per_second();
+  }
+  fs += 20.0 * layer_.blank_noise_rms.amps();
+  return Current::amps(std::max(fs, 1e-9));
+}
+
+electrochem::Cell BiosensorModel::make_cell(
+    const chem::Sample& sample) const {
+  return electrochem::Cell(layer_, sample, options_.hydrodynamics);
+}
+
+readout::NoiseSpec BiosensorModel::noise_spec() const {
+  readout::NoiseSpec spec;
+  spec.electrode_lf_rms = layer_.blank_noise_rms;
+  return spec;
+}
+
+namespace {
+
+/// Autoranging: pick the channel gain from the ideal trace amplitude, as
+/// a real potentiostat does after its settling read. Blanks get the
+/// highest gain that still resolves the electrode noise.
+template <class Samples>
+readout::SignalChain autoranged_chain(const Samples& current_a,
+                                      Current blank_noise,
+                                      std::size_t smoothing_window) {
+  double peak = 0.0;
+  for (double i : current_a) peak = std::max(peak, std::abs(i));
+  const double fs =
+      std::max(1.3 * peak, 20.0 * std::abs(blank_noise.amps()));
+  readout::ChainConfig config =
+      readout::SignalChain::for_full_scale(Current::amps(fs));
+  config.smoothing_window = smoothing_window;
+  return readout::SignalChain(config);
+}
+
+}  // namespace
+
+Measurement BiosensorModel::measure(const chem::Sample& sample,
+                                    Rng& rng) const {
+  Measurement m;
+  m.technique = spec_.technique;
+
+  if (spec_.technique == Technique::kChronoamperometry) {
+    electrochem::ChronoOptions chrono = options_.chrono;
+    chrono.duration = spec_.ca_hold;
+    const electrochem::PotentialStep step(Potential::volts(0.0),
+                                          spec_.ca_step_potential,
+                                          spec_.ca_hold);
+    const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
+                                                chrono);
+    const electrochem::TimeSeries ideal = sim.run();
+    const readout::SignalChain chain = autoranged_chain(
+        ideal.current_a, layer_.blank_noise_rms, options_.smoothing_window);
+    m.trace = chain.acquire(ideal, noise_spec(), rng);
+    m.response_a = m.trace.tail_mean_a(0.1);
+    return m;
+  }
+
+  if (spec_.technique == Technique::kDifferentialPulseVoltammetry) {
+    const electrochem::DifferentialPulseSim sim(
+        make_cell(sample), electrochem::standard_cyp_dpv());
+    const electrochem::DpvTrace ideal = sim.run();
+
+    // The pulse/base subtraction happens inside one staircase step, so
+    // only the part of the low-frequency background that decorrelates
+    // over the sample gap survives; white noise doubles in variance.
+    readout::NoiseSpec diff_noise = noise_spec();
+    const double gap = ideal.sample_gap_s;
+    const double tau = diff_noise.lf_correlation.seconds();
+    diff_noise.electrode_lf_rms =
+        Current::amps(diff_noise.electrode_lf_rms.amps() *
+                      std::sqrt(2.0 * (1.0 - std::exp(-gap / tau))));
+    diff_noise.white_density_a_per_sqrt_hz *= std::sqrt(2.0);
+
+    // Acquire the differential samples as a uniformly sampled series.
+    electrochem::TimeSeries as_series;
+    const double period = 0.2;  // standard_cyp_dpv step period [s]
+    for (std::size_t k = 0; k < ideal.size(); ++k) {
+      as_series.push(period * static_cast<double>(k + 1),
+                     ideal.delta_current_a[k]);
+    }
+    const readout::SignalChain chain = autoranged_chain(
+        as_series.current_a, diff_noise.electrode_lf_rms,
+        options_.smoothing_window);
+    const electrochem::TimeSeries acquired =
+        chain.acquire(as_series, diff_noise, rng);
+
+    m.dpv.potential_v = ideal.potential_v;
+    m.dpv.delta_current_a = acquired.current_a;
+    m.dpv.sample_gap_s = ideal.sample_gap_s;
+    m.peak = analysis::find_dpv_peak(m.dpv);
+    m.response_a = m.peak.has_value() ? m.peak->height_a : 0.0;
+    return m;
+  }
+
+  const electrochem::CyclicSweep sweep(spec_.cv_start, spec_.cv_vertex,
+                                       spec_.cv_scan_rate);
+  const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
+                                        options_.voltammetry);
+  const electrochem::Voltammogram ideal = sim.run();
+  const readout::SignalChain chain = autoranged_chain(
+      ideal.current_a, layer_.blank_noise_rms, options_.smoothing_window);
+  m.voltammogram = chain.acquire(ideal, noise_spec(), rng);
+  m.peak = analysis::find_cathodic_peak(m.voltammogram);
+  m.response_a = m.peak.has_value() ? m.peak->height_a : 0.0;
+  return m;
+}
+
+double BiosensorModel::ideal_response_a(const chem::Sample& sample) const {
+  if (spec_.technique == Technique::kDifferentialPulseVoltammetry) {
+    const electrochem::DifferentialPulseSim sim(
+        make_cell(sample), electrochem::standard_cyp_dpv());
+    const auto peak = analysis::find_dpv_peak(sim.run());
+    return peak.has_value() ? peak->height_a : 0.0;
+  }
+  if (spec_.technique == Technique::kChronoamperometry) {
+    electrochem::ChronoOptions chrono = options_.chrono;
+    chrono.duration = spec_.ca_hold;
+    const electrochem::PotentialStep step(Potential::volts(0.0),
+                                          spec_.ca_step_potential,
+                                          spec_.ca_hold);
+    const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
+                                                chrono);
+    return sim.run().tail_mean_a(0.1);
+  }
+  const electrochem::CyclicSweep sweep(spec_.cv_start, spec_.cv_vertex,
+                                       spec_.cv_scan_rate);
+  const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
+                                        options_.voltammetry);
+  const auto peak = analysis::find_cathodic_peak(sim.run());
+  return peak.has_value() ? peak->height_a : 0.0;
+}
+
+}  // namespace biosens::core

@@ -1,0 +1,83 @@
+// BiosensorModel: a SensorSpec wired to the full measurement pipeline.
+//
+// measure() runs the complete stack the paper's device runs physically:
+// the enzymatic/electrochemical simulation produces an ideal current
+// trace, the readout chain corrupts and digitizes it, and the analysis
+// step reduces it to one response value (steady-state current for the
+// oxidase sensors, baseline-corrected cathodic peak height for the CYP
+// sensors).
+#pragma once
+
+#include <optional>
+
+#include "analysis/peaks.hpp"
+#include "chem/solution.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/spec.hpp"
+#include "electrochem/cell.hpp"
+#include "electrochem/chronoamperometry.hpp"
+#include "electrochem/dpv.hpp"
+#include "electrochem/trace.hpp"
+#include "electrochem/voltammetry.hpp"
+#include "readout/chain.hpp"
+
+namespace biosens::core {
+
+/// One complete measurement: the scalar response plus the raw artifact
+/// behind it (trace or voltammogram) for plotting and diagnostics.
+struct Measurement {
+  double response_a = 0.0;  ///< steady-state current or peak height [A]
+  Technique technique = Technique::kChronoamperometry;
+  electrochem::TimeSeries trace;            ///< chronoamperometry only
+  electrochem::Voltammogram voltammogram;   ///< cyclic voltammetry only
+  electrochem::DpvTrace dpv;                ///< DPV only
+  std::optional<analysis::Peak> peak;       ///< voltammetric techniques
+};
+
+/// Numerical/protocol knobs shared by all measurements of a sensor.
+struct MeasurementOptions {
+  electrochem::Hydrodynamics hydrodynamics{true, 400.0};
+  electrochem::ChronoOptions chrono{};
+  electrochem::VoltammetryOptions voltammetry{};
+  /// Boxcar window of the acquisition chain (readout integration).
+  std::size_t smoothing_window = 5;
+};
+
+/// A runnable sensor: spec + synthesized layer + auto-ranged readout.
+class BiosensorModel {
+ public:
+  explicit BiosensorModel(SensorSpec spec, MeasurementOptions options = {});
+
+  /// Full noisy measurement of a sample.
+  [[nodiscard]] Measurement measure(const chem::Sample& sample,
+                                    Rng& rng) const;
+
+  /// Noiseless response (physics only, no readout) — the deterministic
+  /// backbone used by inverse design and fast sweeps.
+  [[nodiscard]] double ideal_response_a(const chem::Sample& sample) const;
+
+  /// Noise specification the readout applies for this electrode.
+  [[nodiscard]] readout::NoiseSpec noise_spec() const;
+
+  [[nodiscard]] const SensorSpec& spec() const { return spec_; }
+  [[nodiscard]] const electrode::EffectiveLayer& layer() const {
+    return layer_;
+  }
+  [[nodiscard]] const readout::SignalChain& chain() const { return chain_; }
+  [[nodiscard]] Area electrode_area() const {
+    return layer_.geometric_area;
+  }
+
+ private:
+  [[nodiscard]] electrochem::Cell make_cell(
+      const chem::Sample& sample) const;
+  [[nodiscard]] Current expected_full_scale() const;
+
+  SensorSpec spec_;
+  MeasurementOptions options_;
+  electrode::EffectiveLayer layer_;
+  readout::SignalChain chain_;
+};
+
+}  // namespace biosens::core

@@ -1,0 +1,61 @@
+// SensorSpec: the typed composition at the heart of the platform.
+//
+// Section 3 of the paper characterizes its biosensor along five axes —
+// target, sensing element, transduction mechanism, nanotechnology,
+// electrode type — and builds devices by *composing* choices along these
+// axes under compositional rules (oxidases pair with chronoamperometry,
+// CYP isoforms with cyclic voltammetry). SensorSpec encodes exactly that:
+// an Assembly (the chemical component) plus a measurement technique and
+// its protocol parameters, validated for mutual consistency.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+#include "electrode/assembly.hpp"
+
+namespace biosens::core {
+
+/// Transduction technique (all electrochemical/amperometric, per the
+/// paper's classification of its own device).
+enum class Technique {
+  kChronoamperometry,           ///< potential step, steady-state current
+  kCyclicVoltammetry,           ///< triangular sweep, peak height
+  kDifferentialPulseVoltammetry ///< staircase + pulses (extension)
+};
+
+/// A complete sensor specification.
+struct SensorSpec {
+  std::string name;      ///< human-readable device name
+  std::string citation;  ///< "this work" or the Table 2 reference tag
+  std::string target;    ///< species to quantify (== assembly.substrate)
+  Technique technique = Technique::kChronoamperometry;
+  electrode::Assembly assembly;
+
+  // Protocol parameters.
+  Potential ca_step_potential = Potential::millivolts(650.0);
+  Time ca_hold = Time::seconds(30.0);
+  ScanRate cv_scan_rate = ScanRate::millivolts_per_second(50.0);
+  Potential cv_start = Potential::millivolts(200.0);
+  Potential cv_vertex = Potential::millivolts(-600.0);
+
+  /// Validates the full composition:
+  ///  - target must equal the assembly substrate, and the enzyme must
+  ///    turn it over;
+  ///  - oxidases must use chronoamperometry, CYP isoforms a voltammetric
+  ///    technique (the paper's Table 1 pairings);
+  ///  - voltammetric windows must bracket the enzyme's formal potential;
+  ///  - the assembly itself must be physical.
+  /// Throws SpecError on violation.
+  void validate() const;
+
+  /// True when the CYP/voltammetric family is used.
+  [[nodiscard]] bool is_voltammetric() const {
+    return technique != Technique::kChronoamperometry;
+  }
+};
+
+[[nodiscard]] std::string_view to_string(Technique t);
+
+}  // namespace biosens::core

@@ -1,0 +1,46 @@
+// Sensor stability: aging, drift, and recalibration planning.
+//
+// Immobilized enzyme layers lose activity over time (electrode::
+// Immobilization::decay). For a disposable strip this is a shelf-life
+// question; for the paper's long-term vision — implanted monitors for
+// chronic patients (Sections 1, 2.5) — it decides how often the device
+// must be recalibrated and when it must be replaced.
+#pragma once
+
+#include "common/units.hpp"
+#include "core/spec.hpp"
+
+namespace biosens::core {
+
+/// Sensitivity retention of a device after aging.
+struct StabilityReport {
+  Time age;
+  Sensitivity initial;     ///< intrinsic sensitivity when fresh
+  Sensitivity aged;        ///< intrinsic sensitivity at `age`
+  double retained = 1.0;   ///< aged / initial
+};
+
+/// Evaluates the device's intrinsic sensitivity at an age.
+[[nodiscard]] StabilityReport stability_after(const SensorSpec& spec,
+                                              Time age);
+
+/// Longest interval between recalibrations such that the sensitivity
+/// drift stays below `tolerated_drift` (relative, in (0, 1)): solves
+/// exp(-lambda * t) = 1 - drift.
+[[nodiscard]] Time recalibration_interval(const SensorSpec& spec,
+                                          double tolerated_drift);
+
+/// Operational lifetime: the age at which sensitivity falls below
+/// `min_retained` (relative, in (0, 1)) of the fresh value, after which
+/// recalibration can no longer rescue the LOD.
+[[nodiscard]] Time useful_lifetime(const SensorSpec& spec,
+                                   double min_retained);
+
+/// One-point drift compensation: given the fresh calibration slope and a
+/// later measurement of a known standard, returns the corrected slope
+/// the instrument should use from now on (slope * measured / expected).
+[[nodiscard]] double compensated_slope(double fresh_slope_a_per_mm,
+                                       double standard_response_a,
+                                       double expected_response_a);
+
+}  // namespace biosens::core

@@ -1,0 +1,102 @@
+// Personalized-therapy monitoring: the application layer of Section 1.
+//
+// "Drug monitoring in human fluids is important to increase the
+// effectiveness of therapies, and specifically in the case of
+// personalized treatment." This module closes that loop in simulation: a
+// one-compartment pharmacokinetic model generates a patient's true drug
+// concentration over a treatment course; the platform's CYP sensor
+// measures it at scheduled times; a dose controller adjusts the next dose
+// to keep the measured trough inside the therapeutic window.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "core/sensor.hpp"
+
+namespace biosens::core {
+
+/// One-compartment pharmacokinetics with first-order elimination.
+class PharmacokineticModel {
+ public:
+  /// @param volume_of_distribution apparent distribution volume
+  /// @param half_life              elimination half-life
+  PharmacokineticModel(Volume volume_of_distribution, Time half_life);
+
+  /// Instantaneous plasma concentration bump from an IV bolus of
+  /// `dose_mg` of a drug with molar mass `molar_mass_g_per_mol`.
+  [[nodiscard]] Concentration bolus_increment(
+      double dose_mg, double molar_mass_g_per_mol) const;
+
+  /// Decays a concentration over an interval.
+  [[nodiscard]] Concentration decay(Concentration c, Time elapsed) const;
+
+  [[nodiscard]] Rate elimination_rate() const { return k_e_; }
+  [[nodiscard]] Volume volume_of_distribution() const { return v_d_; }
+
+ private:
+  Volume v_d_;
+  Rate k_e_;
+};
+
+/// Patient-specific variability applied to the population PK model — the
+/// reason one-size-fits-all dosing fails (20-50% responders, Section 1).
+struct PatientProfile {
+  std::string id = "patient-0";
+  double clearance_multiplier = 1.0;  ///< fast metabolizers > 1
+  double volume_multiplier = 1.0;
+};
+
+/// One dosing/monitoring step of a course.
+struct TherapyEvent {
+  Time at;                 ///< time since course start
+  double dose_mg = 0.0;    ///< administered dose (0 = measurement only)
+  Concentration true_level;      ///< ground-truth plasma level after dosing
+  Concentration measured_level;  ///< what the biosensor reported
+  double next_dose_mg = 0.0;     ///< controller output
+  bool in_window = true;         ///< measured level inside the window
+};
+
+/// Closed-loop therapy monitor.
+class TherapyMonitor {
+ public:
+  /// @param sensor      a calibrated drug sensor (CYP family)
+  /// @param slope_a_per_mm calibration slope used to convert responses
+  /// @param intercept_a calibration intercept
+  /// @param window_low/high therapeutic window to maintain
+  /// @param linear_range_high top of the sensor's linear range; samples
+  ///        reading above 70% of it are automatically re-measured at a
+  ///        1:4 dilution (titration transients can overshoot the range)
+  TherapyMonitor(const BiosensorModel& sensor, double slope_a_per_mm,
+                 double intercept_a, Concentration window_low,
+                 Concentration window_high,
+                 Concentration linear_range_high);
+
+  /// Simulates a course: `doses` boluses at `interval`, measuring the
+  /// trough before each dose and proportionally adjusting the next one.
+  /// The initial dose is `initial_dose_mg`.
+  [[nodiscard]] std::vector<TherapyEvent> run_course(
+      const PatientProfile& patient, const PharmacokineticModel& population,
+      double initial_dose_mg, std::size_t doses, Time interval,
+      double molar_mass_g_per_mol, Rng& rng) const;
+
+  /// Converts a raw response to a concentration via the calibration.
+  [[nodiscard]] Concentration to_concentration(double response_a) const;
+
+  /// One serum measurement with automatic 1:4 dilution when the first
+  /// reading exceeds 70% of the linear range.
+  [[nodiscard]] Concentration measure_serum(Concentration true_level,
+                                            Rng& rng) const;
+
+ private:
+  const BiosensorModel& sensor_;
+  double slope_a_per_mm_;
+  double intercept_a_;
+  Concentration window_low_;
+  Concentration window_high_;
+  Concentration linear_range_high_;
+};
+
+}  // namespace biosens::core

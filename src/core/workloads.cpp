@@ -1,0 +1,91 @@
+#include "core/workloads.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosens::core {
+
+std::vector<PatientProfile> generate_cohort(const CohortSpec& spec,
+                                            Rng& rng) {
+  require<SpecError>(spec.patients >= 1, "cohort needs patients");
+  require<SpecError>(spec.clearance_gsd >= 1.0 && spec.volume_gsd >= 1.0,
+                     "geometric standard deviations must be >= 1");
+  std::vector<PatientProfile> cohort;
+  cohort.reserve(spec.patients);
+  const double s_cl = std::log(spec.clearance_gsd);
+  const double s_vd = std::log(spec.volume_gsd);
+  for (std::size_t k = 0; k < spec.patients; ++k) {
+    PatientProfile p;
+    p.id = "patient-" + std::to_string(k);
+    p.clearance_multiplier = std::exp(rng.normal(0.0, s_cl));
+    p.volume_multiplier = std::exp(rng.normal(0.0, s_vd));
+    cohort.push_back(std::move(p));
+  }
+  return cohort;
+}
+
+chem::Sample cocktail_sample(
+    const std::vector<CocktailComponent>& components) {
+  require<SpecError>(!components.empty(), "cocktail needs components");
+  chem::Sample sample =
+      chem::serum_sample(components.front().drug, components.front().level);
+  for (std::size_t k = 1; k < components.size(); ++k) {
+    sample.set(components[k].drug, components[k].level);
+  }
+  return sample;
+}
+
+double cohort_fixed_dose_in_window(
+    const std::vector<PatientProfile>& cohort,
+    const PharmacokineticModel& population, double dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    Concentration low, Concentration high, std::size_t titration_doses) {
+  require<SpecError>(!cohort.empty(), "empty cohort");
+  require<SpecError>(doses > titration_doses,
+                     "course shorter than the titration phase");
+
+  std::size_t in_window = 0, total = 0;
+  for (const PatientProfile& p : cohort) {
+    const PharmacokineticModel pk(
+        Volume::liters(population.volume_of_distribution().liters() *
+                       p.volume_multiplier),
+        Time::seconds(std::log(2.0) /
+                      (population.elimination_rate().per_second() *
+                       p.clearance_multiplier)));
+    Concentration level;
+    for (std::size_t k = 0; k < doses; ++k) {
+      if (k >= titration_doses) {
+        ++total;
+        if (level >= low && level <= high) ++in_window;
+      }
+      level += pk.bolus_increment(dose_mg, molar_mass_g_per_mol);
+      level = pk.decay(level, interval);
+    }
+  }
+  return static_cast<double>(in_window) / static_cast<double>(total);
+}
+
+double cohort_monitored_in_window(
+    const std::vector<PatientProfile>& cohort, const TherapyMonitor& monitor,
+    const PharmacokineticModel& population, double initial_dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol, Rng& rng,
+    std::size_t titration_doses) {
+  require<SpecError>(!cohort.empty(), "empty cohort");
+  require<SpecError>(doses > titration_doses,
+                     "course shorter than the titration phase");
+
+  std::size_t in_window = 0, total = 0;
+  for (const PatientProfile& p : cohort) {
+    const auto course =
+        monitor.run_course(p, population, initial_dose_mg, doses, interval,
+                           molar_mass_g_per_mol, rng);
+    for (std::size_t k = titration_doses; k < course.size(); ++k) {
+      ++total;
+      if (course[k].in_window) ++in_window;
+    }
+  }
+  return static_cast<double>(in_window) / static_cast<double>(total);
+}
+
+}  // namespace biosens::core

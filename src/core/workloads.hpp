@@ -1,0 +1,61 @@
+// Workload generators: virtual patient cohorts and drug cocktails.
+//
+// Section 1 motivates the platform with population heterogeneity:
+// "standard drug therapies are based on randomized clinical trials, and
+// treatments are chosen according to the best mean efficacy, with
+// improvements in the 20 to 50% patients". These generators produce the
+// synthetic populations and mixed-drug samples the cohort studies and
+// panel benches run on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/solution.hpp"
+#include "common/rng.hpp"
+#include "core/therapy.hpp"
+
+namespace biosens::core {
+
+/// Log-normal population spread of the PK parameters.
+struct CohortSpec {
+  std::size_t patients = 50;
+  /// Geometric standard deviation of clearance (1.0 = no spread;
+  /// literature inter-patient CV for CYP-metabolized drugs is ~40-60%).
+  double clearance_gsd = 1.5;
+  /// Geometric standard deviation of the distribution volume.
+  double volume_gsd = 1.15;
+};
+
+/// Draws a cohort of patient profiles (deterministic given the rng).
+[[nodiscard]] std::vector<PatientProfile> generate_cohort(
+    const CohortSpec& spec, Rng& rng);
+
+/// A drug cocktail sample on the serum matrix ([9]: several drugs in
+/// one serum sample), with per-drug concentrations.
+struct CocktailComponent {
+  std::string drug;
+  Concentration level;
+};
+
+[[nodiscard]] chem::Sample cocktail_sample(
+    const std::vector<CocktailComponent>& components);
+
+/// Fraction of maintenance-phase troughs inside [low, high] across a
+/// whole cohort under fixed dosing (no measurements).
+[[nodiscard]] double cohort_fixed_dose_in_window(
+    const std::vector<PatientProfile>& cohort,
+    const PharmacokineticModel& population, double dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    Concentration low, Concentration high,
+    std::size_t titration_doses = 3);
+
+/// Fraction of maintenance-phase troughs inside the window across a
+/// cohort when every patient is monitored by `monitor`.
+[[nodiscard]] double cohort_monitored_in_window(
+    const std::vector<PatientProfile>& cohort, const TherapyMonitor& monitor,
+    const PharmacokineticModel& population, double initial_dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    Rng& rng, std::size_t titration_doses = 3);
+
+}  // namespace biosens::core

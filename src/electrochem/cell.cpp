@@ -1,0 +1,107 @@
+#include "electrochem/cell.hpp"
+
+#include <cmath>
+
+#include "chem/environment.hpp"
+#include "chem/species.hpp"
+#include "common/error.hpp"
+#include "transport/analytic.hpp"
+
+namespace biosens::electrochem {
+namespace {
+
+/// Width of the sigmoidal onset of direct oxidation waves. Sharp enough
+/// that interferent currents vanish ~100 mV below their onset, as on
+/// real carbon electrodes.
+constexpr double kOnsetWidthV = 0.025;
+
+/// Electrons transferred in the direct oxidation of each interferent.
+int oxidation_electrons(std::string_view species) {
+  if (species == "hydrogen peroxide") return 2;
+  if (species == "ascorbic acid") return 2;
+  if (species == "uric acid") return 2;
+  if (species == "paracetamol") return 2;
+  return 1;
+}
+
+}  // namespace
+
+std::optional<Potential> oxidation_onset(std::string_view species) {
+  // Onset potentials on carbon electrodes vs Ag/AgCl; literature values
+  // rounded. The enzymatic substrates themselves (glucose, drugs...) are
+  // not directly electroactive below +0.8 V.
+  if (species == "ascorbic acid") return Potential::millivolts(200.0);
+  if (species == "uric acid") return Potential::millivolts(300.0);
+  if (species == "paracetamol") return Potential::millivolts(450.0);
+  if (species == "hydrogen peroxide") return Potential::millivolts(450.0);
+  return std::nullopt;
+}
+
+Cell::Cell(electrode::EffectiveLayer layer, chem::Sample sample,
+           Hydrodynamics hydro)
+    : layer_(std::move(layer)), sample_(std::move(sample)), hydro_(hydro) {
+  require<SpecError>(!layer_.substrate.empty(),
+                     "cell layer has no substrate");
+  if (hydro_.stirred) {
+    require<SpecError>(hydro_.stir_rate_rpm > 0.0,
+                       "stir rate must be positive when stirred");
+  }
+}
+
+Concentration Cell::substrate_bulk() const {
+  return sample_.concentration_of(layer_.substrate);
+}
+
+double Cell::environment_factor() const {
+  return chem::relative_activity(layer_.environment, sample_.buffer(),
+                                 sample_.dissolved_oxygen());
+}
+
+double Cell::layer_thickness_m(Time elapsed) const {
+  if (hydro_.stirred) {
+    return transport::stirred_layer_thickness_m(hydro_.stir_rate_rpm);
+  }
+  // Quiescent: the depletion layer keeps growing; floor it at 1 um so the
+  // earliest instants stay finite.
+  const double delta = transport::quiescent_layer_thickness_m(
+      layer_.substrate_diffusivity, elapsed);
+  return std::max(delta, 1e-6);
+}
+
+Current Cell::interferent_current(Potential applied) const {
+  double total = 0.0;
+  const double delta = layer_thickness_m(Time::seconds(30.0));
+  for (const std::string& name : sample_.species_names()) {
+    const auto onset = oxidation_onset(name);
+    if (!onset.has_value()) continue;
+    const Concentration c = sample_.concentration_of(name);
+    if (c.milli_molar() <= 0.0) continue;
+    const chem::Species& sp = chem::species_or_throw(name);
+    const CurrentDensity j_lim = transport::limiting_current_density(
+        oxidation_electrons(name), sp.diffusivity, c, delta);
+    const double gate =
+        1.0 /
+        (1.0 + std::exp(-(applied.volts() - onset->volts()) / kOnsetWidthV));
+    total += j_lim.amps_per_m2() * gate;
+  }
+  return Current::amps(total * layer_.geometric_area.square_meters() *
+                       layer_.interferent_transmission);
+}
+
+Current Cell::capacitive_step_current(Potential delta,
+                                      Time since_step) const {
+  require<NumericsError>(since_step.seconds() >= 0.0,
+                         "time since step must be non-negative");
+  const double tau = layer_.solution_resistance.ohms() *
+                     layer_.double_layer.farads();
+  if (tau <= 0.0) return Current{};
+  const double i0 = delta.volts() / layer_.solution_resistance.ohms();
+  return Current::amps(i0 * std::exp(-since_step.seconds() / tau));
+}
+
+Current Cell::capacitive_sweep_current(ScanRate slope) const {
+  return Current::amps(layer_.double_layer.farads() *
+                       slope.volts_per_second());
+}
+
+}  // namespace biosens::electrochem

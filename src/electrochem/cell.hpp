@@ -1,0 +1,75 @@
+// The electrochemical cell: a functionalized electrode immersed in a
+// sample, with its hydrodynamics and background current contributions.
+//
+// The cell computes everything that is *not* the enzymatic signal: the
+// direct oxidation of electroactive interferents (ascorbate, urate,
+// paracetamol) at the applied potential, the double-layer charging
+// current, and the mass-transport environment (Nernst layer thickness)
+// the enzymatic simulators run in.
+#pragma once
+
+#include <string_view>
+
+#include "chem/solution.hpp"
+#include "common/units.hpp"
+#include "electrode/assembly.hpp"
+
+namespace biosens::electrochem {
+
+/// Convection state of the sample.
+struct Hydrodynamics {
+  bool stirred = true;
+  double stir_rate_rpm = 200.0;
+};
+
+/// A ready-to-measure cell.
+class Cell {
+ public:
+  Cell(electrode::EffectiveLayer layer, chem::Sample sample,
+       Hydrodynamics hydro = {});
+
+  /// Faradaic current from direct interferent electro-oxidation at the
+  /// applied potential. Each interferent contributes its diffusion-
+  /// limited current gated by a sigmoidal onset in potential and
+  /// attenuated by the film's permselectivity.
+  [[nodiscard]] Current interferent_current(Potential applied) const;
+
+  /// Double-layer charging transient after a potential step of height
+  /// `delta`, at `since_step` after the edge: (dV/Rs) * exp(-t/(Rs*Cdl)).
+  [[nodiscard]] Current capacitive_step_current(Potential delta,
+                                                Time since_step) const;
+
+  /// Double-layer charging current during a sweep: C_dl * dE/dt.
+  [[nodiscard]] Current capacitive_sweep_current(ScanRate slope) const;
+
+  /// Nernst diffusion-layer thickness for the current hydrodynamics;
+  /// quiescent cells use the value at `elapsed`.
+  [[nodiscard]] double layer_thickness_m(Time elapsed) const;
+
+  /// Bulk concentration of the layer's substrate in this sample.
+  [[nodiscard]] Concentration substrate_bulk() const;
+
+  /// Enzyme activity of the layer under this sample's conditions
+  /// (dissolved O2, pH, temperature), relative to the reference
+  /// calibration buffer (see chem/environment.hpp).
+  [[nodiscard]] double environment_factor() const;
+
+  [[nodiscard]] const electrode::EffectiveLayer& layer() const {
+    return layer_;
+  }
+  [[nodiscard]] const chem::Sample& sample() const { return sample_; }
+  [[nodiscard]] const Hydrodynamics& hydrodynamics() const { return hydro_; }
+
+ private:
+  electrode::EffectiveLayer layer_;
+  chem::Sample sample_;
+  Hydrodynamics hydro_;
+};
+
+/// Onset potential (vs Ag/AgCl) for the direct electro-oxidation of a
+/// species on carbon/gold; nullopt when the species is not directly
+/// electroactive in the sensing window.
+[[nodiscard]] std::optional<Potential> oxidation_onset(
+    std::string_view species);
+
+}  // namespace biosens::electrochem

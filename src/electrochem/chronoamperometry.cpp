@@ -1,0 +1,113 @@
+#include "electrochem/chronoamperometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "transport/diffusion.hpp"
+
+namespace biosens::electrochem {
+
+PotentialStep standard_oxidase_step(Time hold) {
+  return PotentialStep(Potential::volts(0.0), Potential::millivolts(650.0),
+                       hold);
+}
+
+ChronoamperometrySim::ChronoamperometrySim(Cell cell, PotentialStep waveform,
+                                           ChronoOptions options)
+    : cell_(std::move(cell)), waveform_(waveform), options_(options) {
+  require<SpecError>(options.duration.seconds() > 0.0,
+                     "duration must be positive");
+  require<SpecError>(options.dt.seconds() > 0.0, "dt must be positive");
+  require<SpecError>(options.dt.seconds() < options.duration.seconds(),
+                     "dt must be below the duration");
+  require<SpecError>(options.grid_nodes >= 3, "grid too coarse");
+}
+
+TimeSeries ChronoamperometrySim::run() const {
+  const electrode::EffectiveLayer& layer = cell_.layer();
+  const chem::MichaelisMenten kinetics = layer.kinetics();
+  const double gamma = layer.wired_coverage.mol_per_m2();
+  const double n_f =
+      layer.electrons * constants::kFaraday;
+
+  // Domain: in a stirred cell the Nernst layer *is* the domain (bulk
+  // clamped at its outer edge); quiescent cells get a domain that
+  // comfortably contains the final depletion layer.
+  const bool stirred = cell_.hydrodynamics().stirred;
+  transport::DiffusionGrid grid;
+  grid.nodes = options_.grid_nodes;
+  grid.length_m =
+      stirred ? cell_.layer_thickness_m(options_.duration)
+              : transport::recommended_domain_length_m(
+                    layer.substrate_diffusivity, options_.duration);
+
+  transport::DiffusionField field(layer.substrate_diffusivity, grid,
+                                  cell_.substrate_bulk());
+
+  const double activity = cell_.environment_factor();
+  const auto surface_flux = [&](double surface_mm) {
+    return activity *
+           kinetics.areal_flux(
+               SurfaceCoverage::mol_per_m2(gamma),
+               Concentration::milli_molar(std::max(surface_mm, 0.0)));
+  };
+
+  const Potential step_height = waveform_.step() - waveform_.rest();
+  const Current interferents =
+      options_.include_interferents
+          ? cell_.interferent_current(waveform_.step())
+          : Current{};
+
+  TimeSeries trace;
+  const auto steps = static_cast<std::size_t>(
+      options_.duration.seconds() / options_.dt.seconds());
+  trace.time_s.reserve(steps);
+  trace.current_a.reserve(steps);
+
+  double t = 0.0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double flux = field.step_reactive_surface(options_.dt, surface_flux);
+    t += options_.dt.seconds();
+
+    double current =
+        n_f * flux * layer.geometric_area.square_meters() +
+        interferents.amps();
+    if (options_.include_capacitive) {
+      current += cell_.capacitive_step_current(step_height, Time::seconds(t))
+                     .amps();
+    }
+    trace.push(t, current);
+  }
+  return trace;
+}
+
+Current ChronoamperometrySim::steady_state() const {
+  return Current::amps(run().tail_mean_a(0.1));
+}
+
+Time ChronoamperometrySim::response_time_95() const {
+  const TimeSeries trace = run();
+  require<AnalysisError>(!trace.empty(), "empty trace");
+  const double final_value = trace.tail_mean_a(0.05);
+  if (std::abs(final_value) <= 0.0) return Time::seconds(0.0);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // Walk forward until the signal stays within 5% of the final value.
+    if (std::abs(trace.current_a[i] - final_value) <=
+        0.05 * std::abs(final_value)) {
+      bool stays = true;
+      for (std::size_t j = i; j < trace.size(); ++j) {
+        if (std::abs(trace.current_a[j] - final_value) >
+            0.05 * std::abs(final_value)) {
+          stays = false;
+          break;
+        }
+      }
+      if (stays) return Time::seconds(trace.time_s[i]);
+    }
+  }
+  return Time::seconds(trace.time_s.back());
+}
+
+}  // namespace biosens::electrochem

@@ -1,0 +1,71 @@
+#include "electrochem/electron_transfer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/regression.hpp"
+
+namespace biosens::electrochem {
+
+CurrentDensity butler_volmer(CurrentDensity exchange, double alpha,
+                             int electrons, Potential overpotential) {
+  require<SpecError>(exchange.amps_per_m2() > 0.0,
+                     "exchange current density must be positive");
+  require<SpecError>(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  require<SpecError>(electrons > 0, "electron count must be positive");
+  const double nf_eta = electrons * overpotential.volts() /
+                        constants::kThermalVoltage;
+  return CurrentDensity::amps_per_m2(
+      exchange.amps_per_m2() *
+      (std::exp(alpha * nf_eta) - std::exp(-(1.0 - alpha) * nf_eta)));
+}
+
+Resistance charge_transfer_resistance(CurrentDensity exchange,
+                                      int electrons, Area area) {
+  require<SpecError>(exchange.amps_per_m2() > 0.0,
+                     "exchange current density must be positive");
+  require<SpecError>(electrons > 0, "electron count must be positive");
+  require<SpecError>(area.square_meters() > 0.0, "area must be positive");
+  return Resistance::ohms(constants::kThermalVoltage /
+                          (electrons * exchange.amps_per_m2() *
+                           area.square_meters()));
+}
+
+TafelFit fit_tafel(std::span<const Potential> overpotentials,
+                   std::span<const CurrentDensity> currents, int electrons,
+                   Potential min_overpotential) {
+  require<AnalysisError>(overpotentials.size() == currents.size(),
+                         "mismatched polarization data");
+  require<SpecError>(electrons > 0, "electron count must be positive");
+
+  std::vector<double> xs, ys;  // eta vs log10(j)
+  for (std::size_t k = 0; k < overpotentials.size(); ++k) {
+    if (overpotentials[k].volts() < min_overpotential.volts()) continue;
+    require<AnalysisError>(currents[k].amps_per_m2() > 0.0,
+                           "anodic branch current must be positive");
+    xs.push_back(overpotentials[k].volts());
+    ys.push_back(std::log10(currents[k].amps_per_m2()));
+  }
+  require<AnalysisError>(xs.size() >= 2,
+                         "fewer than two Tafel-region points; polarize "
+                         "further anodic");
+
+  const LinearFit line = fit_ols(xs, ys);
+  require<AnalysisError>(line.slope > 0.0,
+                         "anodic current must grow with overpotential");
+
+  TafelFit fit;
+  fit.slope_per_decade = Potential::volts(1.0 / line.slope);
+  // slope [decades/V] = alpha n F / (2.303 R T).
+  fit.alpha = line.slope * std::numbers::ln10 *
+              constants::kThermalVoltage / electrons;
+  fit.exchange =
+      CurrentDensity::amps_per_m2(std::pow(10.0, line.intercept));
+  fit.points_used = xs.size();
+  fit.r_squared = line.r_squared;
+  return fit;
+}
+
+}  // namespace biosens::electrochem

@@ -1,0 +1,49 @@
+// Heterogeneous electron-transfer kinetics for solution-phase couples.
+//
+// The Butler-Volmer law is the microscopic model beneath two quantities
+// the rest of the library uses phenomenologically: the charge-transfer
+// resistance of the Randles circuit (impedance.hpp) is its small-signal
+// slope, and the interferent oxidation onsets (cell.cpp) are its
+// large-overpotential limit. Tafel analysis extracts the exchange
+// current density and transfer coefficient from measured polarization
+// data.
+#pragma once
+
+#include <span>
+
+#include "common/units.hpp"
+
+namespace biosens::electrochem {
+
+/// Butler-Volmer current density at overpotential eta:
+/// j = j0 * (exp(alpha n f eta) - exp(-(1 - alpha) n f eta)),
+/// f = F / RT. Anodic overpotentials (eta > 0) give positive current.
+[[nodiscard]] CurrentDensity butler_volmer(CurrentDensity exchange,
+                                           double alpha, int electrons,
+                                           Potential overpotential);
+
+/// Small-signal charge-transfer resistance of an electrode of area A:
+/// R_ct = R T / (n F j0 A) — the quantity the Randles fit extracts.
+[[nodiscard]] Resistance charge_transfer_resistance(CurrentDensity exchange,
+                                                    int electrons,
+                                                    Area area);
+
+/// Result of a Tafel fit on the anodic branch.
+struct TafelFit {
+  CurrentDensity exchange;      ///< extrapolated exchange current density
+  double alpha = 0.5;           ///< transfer coefficient
+  Potential slope_per_decade;   ///< Tafel slope [V/decade]
+  std::size_t points_used = 0;
+  double r_squared = 0.0;
+};
+
+/// Fits the anodic Tafel line log10(j) = log10(j0) + eta / slope over
+/// points with overpotential above `min_overpotential` (the region where
+/// the cathodic back-reaction is negligible). Throws AnalysisError when
+/// fewer than two points qualify.
+[[nodiscard]] TafelFit fit_tafel(
+    std::span<const Potential> overpotentials,
+    std::span<const CurrentDensity> currents, int electrons,
+    Potential min_overpotential = Potential::millivolts(70.0));
+
+}  // namespace biosens::electrochem

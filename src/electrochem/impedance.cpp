@@ -1,0 +1,153 @@
+#include "electrochem/impedance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace biosens::electrochem {
+
+void RandlesCircuit::validate() const {
+  require<SpecError>(solution.ohms() > 0.0, "R_s must be positive");
+  require<SpecError>(charge_transfer.ohms() > 0.0, "R_ct must be positive");
+  require<SpecError>(double_layer.farads() > 0.0, "C_dl must be positive");
+  require<SpecError>(warburg_sigma >= 0.0,
+                     "Warburg coefficient must be non-negative");
+}
+
+std::complex<double> impedance(const RandlesCircuit& circuit, Frequency f) {
+  circuit.validate();
+  require<NumericsError>(f.hertz() > 0.0, "frequency must be positive");
+  const double omega = 2.0 * std::numbers::pi * f.hertz();
+  using cd = std::complex<double>;
+
+  // Faradaic branch: R_ct in series with the Warburg element
+  // Z_w = sigma / sqrt(omega) * (1 - j).
+  cd faradaic(circuit.charge_transfer.ohms(), 0.0);
+  if (circuit.warburg_sigma > 0.0) {
+    const double w = circuit.warburg_sigma / std::sqrt(omega);
+    faradaic += cd(w, -w);
+  }
+
+  // Double layer in parallel with the faradaic branch.
+  const cd y_c(0.0, omega * circuit.double_layer.farads());
+  const cd y_total = y_c + 1.0 / faradaic;
+  return cd(circuit.solution.ohms(), 0.0) + 1.0 / y_total;
+}
+
+ImpedanceSpectrum sweep_spectrum(const RandlesCircuit& circuit,
+                                 Frequency high, Frequency low,
+                                 std::size_t points_per_decade,
+                                 double relative_noise, Rng* rng) {
+  require<SpecError>(high.hertz() > low.hertz() && low.hertz() > 0.0,
+                     "sweep needs high > low > 0");
+  require<SpecError>(points_per_decade >= 1, "need points per decade");
+  require<SpecError>(relative_noise >= 0.0, "noise must be non-negative");
+  require<SpecError>(relative_noise == 0.0 || rng != nullptr,
+                     "noisy sweep needs an rng");
+
+  const double decades = std::log10(high.hertz() / low.hertz());
+  const auto points = static_cast<std::size_t>(
+                          std::ceil(decades * points_per_decade)) +
+                      1;
+
+  ImpedanceSpectrum spectrum;
+  spectrum.frequency_hz.reserve(points);
+  spectrum.real_ohm.reserve(points);
+  spectrum.imag_ohm.reserve(points);
+
+  for (std::size_t k = 0; k < points; ++k) {
+    const double exponent =
+        std::log10(high.hertz()) -
+        decades * static_cast<double>(k) /
+            static_cast<double>(points - 1);
+    const double f = std::pow(10.0, exponent);
+    std::complex<double> z = impedance(circuit, Frequency::hertz(f));
+    if (relative_noise > 0.0) {
+      z *= 1.0 + rng->normal(0.0, relative_noise);
+    }
+    spectrum.frequency_hz.push_back(f);
+    spectrum.real_ohm.push_back(z.real());
+    spectrum.imag_ohm.push_back(z.imag());
+  }
+  return spectrum;
+}
+
+RandlesFit fit_randles(const ImpedanceSpectrum& spectrum) {
+  require<AnalysisError>(spectrum.size() >= 8, "spectrum too short");
+
+  // High-frequency limit: the first (highest-f) real part approaches
+  // R_s; low-frequency limit approaches R_s + R_ct. Verify the sweep
+  // actually spans the semicircle: |Im| must be small at both ends
+  // relative to its maximum.
+  double max_neg_imag = 0.0;
+  std::size_t apex = 0;
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    if (-spectrum.imag_ohm[k] > max_neg_imag) {
+      max_neg_imag = -spectrum.imag_ohm[k];
+      apex = k;
+    }
+  }
+  require<AnalysisError>(max_neg_imag > 0.0,
+                         "spectrum shows no capacitive arc");
+  require<AnalysisError>(
+      -spectrum.imag_ohm.front() < 0.35 * max_neg_imag &&
+          -spectrum.imag_ohm.back() < 0.35 * max_neg_imag,
+      "sweep does not span the semicircle; widen the frequency range");
+
+  RandlesFit fit;
+  fit.solution = Resistance::ohms(spectrum.real_ohm.front());
+  fit.charge_transfer =
+      Resistance::ohms(spectrum.real_ohm.back() - spectrum.real_ohm.front());
+  require<AnalysisError>(fit.charge_transfer.ohms() > 0.0,
+                         "no resolvable charge-transfer resistance");
+  // Apex: omega = 1 / (R_ct * C_dl).
+  const double omega_apex =
+      2.0 * std::numbers::pi * spectrum.frequency_hz[apex];
+  fit.double_layer = Capacitance::farads(
+      1.0 / (omega_apex * fit.charge_transfer.ohms()));
+  return fit;
+}
+
+ImpedimetricImmunosensor::ImpedimetricImmunosensor(RandlesCircuit baseline,
+                                                   Concentration k_d,
+                                                   double max_rct_gain)
+    : baseline_(baseline), k_d_(k_d), max_rct_gain_(max_rct_gain) {
+  baseline.validate();
+  require<SpecError>(k_d.milli_molar() > 0.0, "K_d must be positive");
+  require<SpecError>(max_rct_gain >= 1.0, "R_ct gain must be >= 1");
+}
+
+double ImpedimetricImmunosensor::occupancy(Concentration c) const {
+  const double x = std::max(c.milli_molar(), 0.0);
+  return x / (k_d_.milli_molar() + x);
+}
+
+RandlesCircuit ImpedimetricImmunosensor::circuit_at(Concentration c) const {
+  RandlesCircuit circuit = baseline_;
+  const double gain = 1.0 + (max_rct_gain_ - 1.0) * occupancy(c);
+  circuit.charge_transfer =
+      Resistance::ohms(baseline_.charge_transfer.ohms() * gain);
+  // Bound protein slightly lowers the interface capacitance (the
+  // capacitive-family readout of [45], [50]).
+  circuit.double_layer = Capacitance::farads(
+      baseline_.double_layer.farads() / (1.0 + 0.3 * occupancy(c)));
+  return circuit;
+}
+
+double ImpedimetricImmunosensor::relative_rct_change(Concentration c,
+                                                     double relative_noise,
+                                                     Rng& rng) const {
+  const auto measure = [&](const RandlesCircuit& circuit) {
+    const ImpedanceSpectrum spectrum =
+        sweep_spectrum(circuit, Frequency::kilo_hertz(100.0),
+                       Frequency::hertz(0.05), 8, relative_noise, &rng);
+    return fit_randles(spectrum).charge_transfer.ohms();
+  };
+  const double baseline_rct = measure(baseline_);
+  const double bound_rct = measure(circuit_at(c));
+  return (bound_rct - baseline_rct) / baseline_rct;
+}
+
+}  // namespace biosens::electrochem

@@ -1,0 +1,90 @@
+#include "electrochem/potentiometry.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace biosens::electrochem {
+
+IonSelectiveElectrode::IonSelectiveElectrode(Potential standard,
+                                             std::string ion, int charge,
+                                             double slope_efficiency)
+    : standard_(standard),
+      ion_(std::move(ion)),
+      charge_(charge),
+      slope_efficiency_(slope_efficiency) {
+  require<SpecError>(charge != 0, "primary ion charge must be non-zero");
+  require<SpecError>(slope_efficiency > 0.0 && slope_efficiency <= 1.0,
+                     "slope efficiency must be in (0, 1]");
+}
+
+void IonSelectiveElectrode::add_interference(IonInterference interference) {
+  require<SpecError>(interference.selectivity_coefficient >= 0.0,
+                     "selectivity coefficient must be non-negative");
+  require<SpecError>(interference.charge != 0,
+                     "interfering ion charge must be non-zero");
+  interferences_.push_back(std::move(interference));
+}
+
+Potential IonSelectiveElectrode::nernstian_slope_per_decade() const {
+  return Potential::volts(slope_efficiency_ * constants::kThermalVoltage *
+                          std::numbers::ln10 / charge_);
+}
+
+Potential IonSelectiveElectrode::potential(
+    const chem::Sample& sample) const {
+  // Activities approximated by concentrations in mM (consistent scale;
+  // E0 absorbs the reference activity).
+  double effective = sample.concentration_of(ion_).milli_molar();
+  for (const IonInterference& j : interferences_) {
+    const double a_j = sample.concentration_of(j.species).milli_molar();
+    if (a_j <= 0.0) continue;
+    effective += j.selectivity_coefficient *
+                 std::pow(a_j, static_cast<double>(charge_) /
+                                   static_cast<double>(j.charge));
+  }
+  // Detection floor: membranes bottom out around 1e-7 of the scale.
+  effective = std::max(effective, 1e-7);
+  return Potential::volts(standard_.volts() +
+                          slope_efficiency_ * constants::kThermalVoltage /
+                              charge_ * std::log(effective));
+}
+
+PotentiometricBiosensor::PotentiometricBiosensor(
+    IonSelectiveElectrode electrode, chem::MichaelisMenten kinetics,
+    std::string analyte, double conversion_gain)
+    : electrode_(std::move(electrode)),
+      kinetics_(kinetics),
+      analyte_(std::move(analyte)),
+      conversion_gain_(conversion_gain) {
+  require<SpecError>(conversion_gain > 0.0,
+                     "conversion gain must be positive");
+}
+
+Concentration PotentiometricBiosensor::local_ion(
+    Concentration analyte) const {
+  return Concentration::milli_molar(
+      conversion_gain_ * kinetics_.turnover_per_second(analyte));
+}
+
+Potential PotentiometricBiosensor::respond(
+    const chem::Sample& sample) const {
+  chem::Sample at_membrane = sample;
+  const Concentration generated =
+      local_ion(sample.concentration_of(analyte_));
+  at_membrane.spike(electrode_.ion(), generated);
+  return electrode_.potential(at_membrane);
+}
+
+IonSelectiveElectrode ammonium_ise() {
+  IonSelectiveElectrode ise(Potential::millivolts(50.0), "ammonium", 1,
+                            0.98);
+  // Nonactin-membrane selectivity: potassium is the classic interferent.
+  ise.add_interference({"potassium", 0.1, 1});
+  ise.add_interference({"sodium", 0.002, 1});
+  return ise;
+}
+
+}  // namespace biosens::electrochem

@@ -1,0 +1,94 @@
+// Potentiometric sensing.
+//
+// Section 2.3: "The catalyzed reaction promoted by the enzyme can result
+// in a variation of the electrode potential, while no current flows.
+// Such technique is called potentiometric. Ion-selective sensors belong
+// to that family. Potentiometric biosensors have been developed for urea
+// detection in blood, creatinine in biological fluids..." [23].
+//
+// This module implements the Nikolsky-Eisenman response of an
+// ion-selective electrode (Nernstian slope, interfering-ion terms) and
+// the enzyme-coupled potentiometric biosensor (urease-style: the enzyme
+// converts the analyte into the ion the ISE reports).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chem/kinetics.hpp"
+#include "chem/solution.hpp"
+#include "common/units.hpp"
+
+namespace biosens::electrochem {
+
+/// An interfering ion with its Nikolsky-Eisenman selectivity
+/// coefficient (log10 K < 0 means well rejected).
+struct IonInterference {
+  std::string species;
+  double selectivity_coefficient = 0.0;  ///< K_ij (linear, not log)
+  int charge = 1;
+};
+
+/// Ion-selective electrode with Nikolsky-Eisenman response:
+/// E = E0 + (RT / z F) * ln(a_i + sum_j K_ij * a_j^(z_i/z_j)).
+class IonSelectiveElectrode {
+ public:
+  /// @param standard  electrode standard potential E0
+  /// @param ion       primary ion species name
+  /// @param charge    primary ion charge z (non-zero)
+  /// @param slope_efficiency  fraction of the ideal Nernstian slope the
+  ///        membrane achieves (aged membranes read sub-Nernstian)
+  IonSelectiveElectrode(Potential standard, std::string ion, int charge,
+                        double slope_efficiency = 1.0);
+
+  /// Adds an interfering ion.
+  void add_interference(IonInterference interference);
+
+  /// Electrode potential in the sample.
+  [[nodiscard]] Potential potential(const chem::Sample& sample) const;
+
+  /// Ideal Nernstian slope per decade of activity [V].
+  [[nodiscard]] Potential nernstian_slope_per_decade() const;
+
+  [[nodiscard]] const std::string& ion() const { return ion_; }
+
+ private:
+  Potential standard_;
+  std::string ion_;
+  int charge_;
+  double slope_efficiency_;
+  std::vector<IonInterference> interferences_;
+};
+
+/// Enzyme-coupled potentiometric biosensor: an immobilized enzyme layer
+/// converts the analyte into the reporter ion at its Michaelis-Menten
+/// rate; at steady state the local ion level seen by the ISE is
+/// proportional to the conversion flux (lumped conversion gain).
+class PotentiometricBiosensor {
+ public:
+  /// @param electrode  the reporter-ion ISE
+  /// @param kinetics   the enzyme layer (e.g. urease on urea)
+  /// @param analyte    analyte species name
+  /// @param conversion_gain  steady-state reporter-ion concentration per
+  ///        unit turnover rate [mM per (1/s)]
+  PotentiometricBiosensor(IonSelectiveElectrode electrode,
+                          chem::MichaelisMenten kinetics,
+                          std::string analyte, double conversion_gain);
+
+  /// Measured cell potential for a sample containing the analyte.
+  [[nodiscard]] Potential respond(const chem::Sample& sample) const;
+
+  /// The reporter-ion concentration generated at the membrane.
+  [[nodiscard]] Concentration local_ion(Concentration analyte) const;
+
+ private:
+  IonSelectiveElectrode electrode_;
+  chem::MichaelisMenten kinetics_;
+  std::string analyte_;
+  double conversion_gain_;
+};
+
+/// A pH-style ammonium ISE as used by urea biosensors [23].
+[[nodiscard]] IonSelectiveElectrode ammonium_ise();
+
+}  // namespace biosens::electrochem

@@ -1,0 +1,57 @@
+// Raw simulator outputs: current-vs-time traces and voltammograms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace biosens::electrochem {
+
+/// A sampled current-vs-time trace (chronoamperometry output).
+struct TimeSeries {
+  std::vector<double> time_s;
+  std::vector<double> current_a;
+
+  [[nodiscard]] std::size_t size() const { return time_s.size(); }
+  [[nodiscard]] bool empty() const { return time_s.empty(); }
+
+  void push(double t, double i) {
+    time_s.push_back(t);
+    current_a.push_back(i);
+  }
+
+  /// Mean current over the trailing fraction of the trace (steady-state
+  /// readout window). `fraction` in (0, 1].
+  [[nodiscard]] double tail_mean_a(double fraction = 0.1) const {
+    require<AnalysisError>(!empty(), "tail of empty trace");
+    require<AnalysisError>(fraction > 0.0 && fraction <= 1.0,
+                           "tail fraction must be in (0, 1]");
+    const std::size_t n = time_s.size();
+    std::size_t start = n - static_cast<std::size_t>(fraction * n);
+    if (start >= n) start = n - 1;
+    double sum = 0.0;
+    for (std::size_t i = start; i < n; ++i) sum += current_a[i];
+    return sum / static_cast<double>(n - start);
+  }
+};
+
+/// A sampled current-vs-potential curve (cyclic voltammetry output).
+/// Points are stored in sweep order, so the forward and reverse branches
+/// trace the hysteresis loop the paper describes.
+struct Voltammogram {
+  std::vector<double> potential_v;
+  std::vector<double> current_a;
+  /// Index of the first point of the reverse sweep.
+  std::size_t turning_index = 0;
+
+  [[nodiscard]] std::size_t size() const { return potential_v.size(); }
+  [[nodiscard]] bool empty() const { return potential_v.empty(); }
+
+  void push(double e, double i) {
+    potential_v.push_back(e);
+    current_a.push_back(i);
+  }
+};
+
+}  // namespace biosens::electrochem

@@ -1,0 +1,180 @@
+#include "electrochem/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosens::electrochem {
+
+// ---------------------------------------------------------------------------
+// PotentialStep
+// ---------------------------------------------------------------------------
+
+PotentialStep::PotentialStep(Potential rest, Potential step, Time hold)
+    : rest_(rest), step_(step), hold_(hold) {
+  require<SpecError>(hold.seconds() > 0.0, "hold time must be positive");
+}
+
+Potential PotentialStep::at(Time t) const {
+  return t.seconds() < 0.0 ? rest_ : step_;
+}
+
+ScanRate PotentialStep::slope_at(Time /*t*/) const {
+  // The step edge itself is handled by the simulator's RC charging model;
+  // the programmed slope is zero everywhere else.
+  return ScanRate::volts_per_second(0.0);
+}
+
+// ---------------------------------------------------------------------------
+// LinearSweep
+// ---------------------------------------------------------------------------
+
+LinearSweep::LinearSweep(Potential start, Potential end, ScanRate rate)
+    : start_(start), end_(end), rate_(rate) {
+  require<SpecError>(rate.volts_per_second() > 0.0,
+                     "scan rate must be positive");
+  require<SpecError>(start.volts() != end.volts(),
+                     "sweep must span a non-zero window");
+}
+
+Time LinearSweep::duration() const {
+  return Time::seconds(std::abs(end_.volts() - start_.volts()) /
+                       rate_.volts_per_second());
+}
+
+Potential LinearSweep::at(Time t) const {
+  const double dir = end_.volts() > start_.volts() ? 1.0 : -1.0;
+  const double clamped =
+      std::clamp(t.seconds(), 0.0, duration().seconds());
+  return Potential::volts(start_.volts() +
+                          dir * rate_.volts_per_second() * clamped);
+}
+
+ScanRate LinearSweep::slope_at(Time t) const {
+  if (t.seconds() < 0.0 || t.seconds() > duration().seconds()) {
+    return ScanRate::volts_per_second(0.0);
+  }
+  const double dir = end_.volts() > start_.volts() ? 1.0 : -1.0;
+  return ScanRate::volts_per_second(dir * rate_.volts_per_second());
+}
+
+// ---------------------------------------------------------------------------
+// CyclicSweep
+// ---------------------------------------------------------------------------
+
+CyclicSweep::CyclicSweep(Potential start, Potential vertex, ScanRate rate,
+                         int cycles)
+    : start_(start), vertex_(vertex), rate_(rate), cycles_(cycles) {
+  require<SpecError>(rate.volts_per_second() > 0.0,
+                     "scan rate must be positive");
+  require<SpecError>(start.volts() != vertex.volts(),
+                     "cycle must span a non-zero window");
+  require<SpecError>(cycles >= 1, "at least one cycle");
+}
+
+Time CyclicSweep::half_period() const {
+  return Time::seconds(std::abs(vertex_.volts() - start_.volts()) /
+                       rate_.volts_per_second());
+}
+
+Time CyclicSweep::duration() const {
+  return Time::seconds(2.0 * half_period().seconds() * cycles_);
+}
+
+Potential CyclicSweep::at(Time t) const {
+  const double half = half_period().seconds();
+  const double period = 2.0 * half;
+  double tt = std::clamp(t.seconds(), 0.0, duration().seconds());
+  tt = std::fmod(tt, period);
+  const double dir = vertex_.volts() > start_.volts() ? 1.0 : -1.0;
+  if (tt <= half) {
+    return Potential::volts(start_.volts() +
+                            dir * rate_.volts_per_second() * tt);
+  }
+  return Potential::volts(vertex_.volts() -
+                          dir * rate_.volts_per_second() * (tt - half));
+}
+
+ScanRate CyclicSweep::slope_at(Time t) const {
+  if (t.seconds() < 0.0 || t.seconds() > duration().seconds()) {
+    return ScanRate::volts_per_second(0.0);
+  }
+  const double half = half_period().seconds();
+  const double tt = std::fmod(t.seconds(), 2.0 * half);
+  const double dir = vertex_.volts() > start_.volts() ? 1.0 : -1.0;
+  const double sign = tt <= half ? dir : -dir;
+  return ScanRate::volts_per_second(sign * rate_.volts_per_second());
+}
+
+// ---------------------------------------------------------------------------
+// DifferentialPulse
+// ---------------------------------------------------------------------------
+
+DifferentialPulse::DifferentialPulse(Potential start, Potential end,
+                                     Potential step_height,
+                                     Potential pulse_amplitude,
+                                     Time step_period, Time pulse_width)
+    : start_(start),
+      end_(end),
+      step_height_(step_height),
+      pulse_amplitude_(pulse_amplitude),
+      step_period_(step_period),
+      pulse_width_(pulse_width) {
+  require<SpecError>(step_height.volts() != 0.0,
+                     "step height must be non-zero");
+  require<SpecError>((end.volts() - start.volts()) * step_height.volts() > 0,
+                     "step height must point from start toward end");
+  require<SpecError>(step_period.seconds() > 0.0 &&
+                         pulse_width.seconds() > 0.0 &&
+                         pulse_width.seconds() < step_period.seconds(),
+                     "pulse width must be positive and below the period");
+}
+
+std::size_t DifferentialPulse::step_count() const {
+  return static_cast<std::size_t>(
+             std::floor((end_.volts() - start_.volts()) /
+                        step_height_.volts())) +
+         1;
+}
+
+Time DifferentialPulse::duration() const {
+  return Time::seconds(static_cast<double>(step_count()) *
+                       step_period_.seconds());
+}
+
+Potential DifferentialPulse::at(Time t) const {
+  const double tt = std::clamp(t.seconds(), 0.0, duration().seconds());
+  const auto step = static_cast<std::size_t>(tt / step_period_.seconds());
+  const double within = tt - static_cast<double>(step) *
+                                 step_period_.seconds();
+  const double base =
+      start_.volts() + static_cast<double>(step) * step_height_.volts();
+  // The pulse occupies the tail of each step period.
+  const bool pulsed =
+      within >= step_period_.seconds() - pulse_width_.seconds();
+  return Potential::volts(base + (pulsed ? pulse_amplitude_.volts() : 0.0));
+}
+
+ScanRate DifferentialPulse::slope_at(Time /*t*/) const {
+  // Between edges the staircase is flat; edge transients are handled by
+  // the simulator's RC model, as for PotentialStep.
+  return ScanRate::volts_per_second(0.0);
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<double> sample_times(const Waveform& w, Frequency sample_rate) {
+  require<SpecError>(sample_rate.hertz() > 0.0,
+                     "sample rate must be positive");
+  const double dt = 1.0 / sample_rate.hertz();
+  const double total = w.duration().seconds();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(total / dt) + 2);
+  for (double t = 0.0; t <= total + 0.5 * dt; t += dt) {
+    out.push_back(std::min(t, total));
+  }
+  return out;
+}
+
+}  // namespace biosens::electrochem

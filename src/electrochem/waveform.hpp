@@ -1,0 +1,126 @@
+// Potentiostat excitation waveforms.
+//
+// The platform uses two techniques (Table 1): a potential step held at
+// +650 mV for the oxidase sensors (chronoamperometry) and a forward/
+// backward linear sweep for the CYP sensors (cyclic voltammetry). A
+// differential-pulse waveform is provided as well — the DNA-based
+// cyclophosphamide comparator [32] uses it, and it is a common extension.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace biosens::electrochem {
+
+/// Interface of a deterministic potential program E(t).
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+
+  /// Potential at time t (t in [0, duration]).
+  [[nodiscard]] virtual Potential at(Time t) const = 0;
+
+  /// Total program duration.
+  [[nodiscard]] virtual Time duration() const = 0;
+
+  /// Instantaneous sweep rate dE/dt at time t; used for the capacitive
+  /// charging current i_c = C_dl * dE/dt.
+  [[nodiscard]] virtual ScanRate slope_at(Time t) const = 0;
+};
+
+/// Constant potential applied at t = 0 from an initial rest potential
+/// (amperometry / chronoamperometry).
+class PotentialStep final : public Waveform {
+ public:
+  PotentialStep(Potential rest, Potential step, Time hold);
+
+  [[nodiscard]] Potential at(Time t) const override;
+  [[nodiscard]] Time duration() const override { return hold_; }
+  [[nodiscard]] ScanRate slope_at(Time t) const override;
+
+  [[nodiscard]] Potential rest() const { return rest_; }
+  [[nodiscard]] Potential step() const { return step_; }
+
+ private:
+  Potential rest_;
+  Potential step_;
+  Time hold_;
+};
+
+/// Single linear sweep from start to end.
+class LinearSweep final : public Waveform {
+ public:
+  LinearSweep(Potential start, Potential end, ScanRate rate);
+
+  [[nodiscard]] Potential at(Time t) const override;
+  [[nodiscard]] Time duration() const override;
+  [[nodiscard]] ScanRate slope_at(Time t) const override;
+
+  [[nodiscard]] Potential start() const { return start_; }
+  [[nodiscard]] Potential end() const { return end_; }
+  [[nodiscard]] ScanRate rate() const { return rate_; }
+
+ private:
+  Potential start_;
+  Potential end_;
+  ScanRate rate_;  ///< magnitude; direction follows start -> end
+};
+
+/// Forward sweep followed by the mirror-image return sweep (one cycle).
+class CyclicSweep final : public Waveform {
+ public:
+  CyclicSweep(Potential start, Potential vertex, ScanRate rate,
+              int cycles = 1);
+
+  [[nodiscard]] Potential at(Time t) const override;
+  [[nodiscard]] Time duration() const override;
+  [[nodiscard]] ScanRate slope_at(Time t) const override;
+
+  [[nodiscard]] Potential start() const { return start_; }
+  [[nodiscard]] Potential vertex() const { return vertex_; }
+  [[nodiscard]] ScanRate rate() const { return rate_; }
+  [[nodiscard]] int cycles() const { return cycles_; }
+  /// Duration of one half-sweep (start -> vertex).
+  [[nodiscard]] Time half_period() const;
+
+ private:
+  Potential start_;
+  Potential vertex_;
+  ScanRate rate_;
+  int cycles_;
+};
+
+/// Staircase ramp with superimposed pulses (differential pulse
+/// voltammetry). The readout samples just before each pulse and at its
+/// end; the difference suppresses the capacitive background.
+class DifferentialPulse final : public Waveform {
+ public:
+  DifferentialPulse(Potential start, Potential end, Potential step_height,
+                    Potential pulse_amplitude, Time step_period,
+                    Time pulse_width);
+
+  [[nodiscard]] Potential at(Time t) const override;
+  [[nodiscard]] Time duration() const override;
+  [[nodiscard]] ScanRate slope_at(Time t) const override;
+
+  [[nodiscard]] std::size_t step_count() const;
+  [[nodiscard]] Time step_period() const { return step_period_; }
+  [[nodiscard]] Time pulse_width() const { return pulse_width_; }
+  [[nodiscard]] Potential pulse_amplitude() const { return pulse_amplitude_; }
+
+ private:
+  Potential start_;
+  Potential end_;
+  Potential step_height_;
+  Potential pulse_amplitude_;
+  Time step_period_;
+  Time pulse_width_;
+};
+
+/// Uniform sample times covering a waveform at the given rate.
+[[nodiscard]] std::vector<double> sample_times(const Waveform& w,
+                                               Frequency sample_rate);
+
+}  // namespace biosens::electrochem

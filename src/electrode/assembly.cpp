@@ -1,0 +1,105 @@
+#include "electrode/assembly.hpp"
+
+#include <cmath>
+
+#include "chem/species.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace biosens::electrode {
+
+void Assembly::validate() const {
+  modification.validate();
+  immobilization.validate();
+  require<SpecError>(geometry.working_area.square_meters() > 0.0,
+                     "electrode area must be positive");
+  require<SpecError>(enzyme.kinetics_for(substrate).has_value(),
+                     "enzyme '" + enzyme.name + "' has no kinetics for '" +
+                         substrate + "'");
+  require<SpecError>(loading_monolayers > 0.0,
+                     "enzyme loading must be positive");
+  require<SpecError>(
+      loading_monolayers <= immobilization.max_monolayers,
+      "enzyme loading exceeds what " +
+          std::string(to_string(immobilization.method)) + " supports");
+  require<SpecError>(km_tuning > 0.0, "km_tuning must be positive");
+  require<SpecError>(noise_tuning > 0.0, "noise_tuning must be positive");
+}
+
+chem::MichaelisMenten EffectiveLayer::kinetics() const {
+  return chem::MichaelisMenten(k_cat_app, k_m_app);
+}
+
+CurrentDensity EffectiveLayer::catalytic_current_density(
+    Concentration substrate) const {
+  const double flux = kinetics().areal_flux(wired_coverage, substrate);
+  return CurrentDensity::amps_per_m2(electrons * constants::kFaraday * flux);
+}
+
+Current EffectiveLayer::catalytic_current(Concentration substrate) const {
+  return catalytic_current_density(substrate) * geometric_area;
+}
+
+Sensitivity EffectiveLayer::intrinsic_sensitivity() const {
+  const double slope = electrons * constants::kFaraday *
+                       wired_coverage.mol_per_m2() * kinetics().linear_slope();
+  return Sensitivity::canonical(slope);
+}
+
+EffectiveLayer synthesize(const Assembly& assembly, Time age) {
+  assembly.validate();
+  require<SpecError>(age.seconds() >= 0.0, "age must be non-negative");
+
+  const auto kin = assembly.enzyme.kinetics_for(assembly.substrate);
+  const Modification& mod = assembly.modification;
+  const Immobilization& imm = assembly.immobilization;
+
+  // Wired coverage per geometric area: the deposited amount (loading, in
+  // geometric monolayers), spread over the nanomaterial's enhanced area,
+  // reduced to the fraction that stays active after immobilization, is
+  // electrically wired, and has not yet decayed.
+  const double activity = remaining_activity(imm, age);
+  const double coverage =
+      assembly.enzyme.monolayer_coverage().mol_per_m2() *
+      assembly.loading_monolayers * mod.area_enhancement *
+      imm.activity_retention * mod.transfer_efficiency * activity;
+
+  EffectiveLayer layer;
+  layer.substrate = assembly.substrate;
+  layer.substrate_diffusivity =
+      chem::species_or_throw(assembly.substrate).diffusivity;
+  layer.wired_coverage = SurfaceCoverage::mol_per_m2(coverage);
+  layer.k_cat_app = kin->k_cat;
+  layer.k_m_app = Concentration::milli_molar(kin->k_m.milli_molar() *
+                                             mod.km_multiplier *
+                                             assembly.km_tuning);
+  layer.electrons = kin->electrons;
+  layer.geometric_area = assembly.geometry.working_area;
+  layer.working_material = assembly.geometry.working_material;
+  layer.double_layer = Capacitance::farads(
+      assembly.geometry.double_layer_capacitance().farads() *
+      mod.area_enhancement);
+  layer.blank_noise_rms = Current::amps(
+      assembly.geometry.base_noise_per_mm2.amps() *
+      assembly.geometry.working_area.square_millimeters() *
+      mod.noise_multiplier * assembly.noise_tuning);
+  layer.electron_transfer_rate = mod.electron_transfer_rate;
+  layer.formal_potential = assembly.enzyme.formal_potential;
+  layer.solution_resistance = assembly.geometry.solution_resistance;
+  layer.area_enhancement = mod.area_enhancement;
+  layer.interferent_transmission = mod.interferent_transmission;
+  layer.environment = assembly.enzyme.environment;
+  for (const chem::SubstrateKinetics& cross : assembly.enzyme.substrates) {
+    if (cross.substrate == assembly.substrate) continue;
+    layer.secondary.push_back(
+        {cross.substrate,
+         chem::species_or_throw(cross.substrate).diffusivity, cross.k_cat,
+         Concentration::milli_molar(cross.k_m.milli_molar() *
+                                    mod.km_multiplier *
+                                    assembly.km_tuning),
+         cross.electrons});
+  }
+  return layer;
+}
+
+}  // namespace biosens::electrode

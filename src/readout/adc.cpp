@@ -1,0 +1,36 @@
+#include "readout/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosens::readout {
+
+Adc::Adc(Potential vref, int bits) : vref_(vref), bits_(bits) {
+  require<SpecError>(vref.volts() > 0.0, "vref must be positive");
+  require<SpecError>(bits >= 2 && bits <= 24, "bits must be in [2, 24]");
+}
+
+Potential Adc::lsb() const {
+  return Potential::volts(2.0 * vref_.volts() /
+                          static_cast<double>(1L << bits_));
+}
+
+long Adc::code_for(Potential in) const {
+  const long half_codes = 1L << (bits_ - 1);
+  const double step = lsb().volts();
+  const double clamped =
+      std::clamp(in.volts(), -vref_.volts(), vref_.volts());
+  long code = std::lround(clamped / step);
+  code = std::clamp(code, -half_codes, half_codes - 1);
+  return code;
+}
+
+Potential Adc::quantize(Potential in) const {
+  return Potential::volts(static_cast<double>(code_for(in)) * lsb().volts());
+}
+
+Adc default_adc() { return Adc(Potential::volts(1.2), 16); }
+
+}  // namespace biosens::readout

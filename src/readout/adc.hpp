@@ -1,0 +1,40 @@
+// Analog-to-digital conversion.
+//
+// The platform digitizes the TIA output with a moderate-resolution SAR
+// ADC; quantization adds a uniform error of one LSB peak-to-peak, which
+// matters for the smallest CYP peaks on the high-gain channel.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace biosens::readout {
+
+/// Ideal mid-rise quantizer with saturation.
+class Adc {
+ public:
+  /// @param vref full-scale range is [-vref, +vref]
+  /// @param bits resolution (2..24)
+  Adc(Potential vref, int bits);
+
+  /// Quantizes a voltage: clamps to range, rounds to the nearest code,
+  /// and returns the reconstructed voltage.
+  [[nodiscard]] Potential quantize(Potential in) const;
+
+  /// One least-significant-bit step.
+  [[nodiscard]] Potential lsb() const;
+
+  /// Digital output code for a voltage (two's-complement integer).
+  [[nodiscard]] long code_for(Potential in) const;
+
+  [[nodiscard]] Potential vref() const { return vref_; }
+  [[nodiscard]] int bits() const { return bits_; }
+
+ private:
+  Potential vref_;
+  int bits_;
+};
+
+/// Default converter: 16-bit, +/-1.2 V (matches the TIA rails).
+[[nodiscard]] Adc default_adc();
+
+}  // namespace biosens::readout

@@ -1,0 +1,62 @@
+#include "readout/noise.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace biosens::readout {
+
+NoiseGenerator::NoiseGenerator(NoiseSpec spec, Frequency sample_rate, Rng rng)
+    : spec_(spec), sample_rate_(sample_rate), rng_(rng) {
+  require<SpecError>(sample_rate.hertz() > 0.0,
+                     "sample rate must be positive");
+  require<SpecError>(spec.electrode_lf_rms.amps() >= 0.0,
+                     "electrode noise must be non-negative");
+  require<SpecError>(spec.white_density_a_per_sqrt_hz >= 0.0,
+                     "white density must be non-negative");
+  require<SpecError>(spec.drift_a_per_sqrt_s >= 0.0,
+                     "drift density must be non-negative");
+  require<SpecError>(spec.lf_correlation.seconds() > 0.0,
+                     "lf correlation time must be positive");
+  // Start the flicker-dominated background from its stationary law.
+  lf_offset_a_ = rng_.normal(0.0, spec_.electrode_lf_rms.amps());
+}
+
+double NoiseGenerator::white_rms_a() const {
+  // White density integrated over the Nyquist band of the sampling.
+  return spec_.white_density_a_per_sqrt_hz *
+         std::sqrt(0.5 * sample_rate_.hertz());
+}
+
+double NoiseGenerator::shot_rms_a(Current dc) const {
+  // Shot noise PSD 2qI integrated over the Nyquist band.
+  return std::sqrt(2.0 * constants::kElementaryCharge *
+                   std::abs(dc.amps()) * 0.5 * sample_rate_.hertz());
+}
+
+Current NoiseGenerator::next(Current ideal) {
+  // Ornstein-Uhlenbeck update keeps the background stationary at the
+  // configured rms while decorrelating over lf_correlation.
+  const double dt = 1.0 / sample_rate_.hertz();
+  const double theta = dt / spec_.lf_correlation.seconds();
+  if (theta < 1.0) {
+    lf_offset_a_ += -theta * lf_offset_a_ +
+                    spec_.electrode_lf_rms.amps() *
+                        std::sqrt(2.0 * theta) * rng_.normal();
+  } else {
+    lf_offset_a_ = rng_.normal(0.0, spec_.electrode_lf_rms.amps());
+  }
+  double noise = lf_offset_a_;
+  noise += rng_.normal(0.0, white_rms_a());
+  if (spec_.include_shot) {
+    noise += rng_.normal(0.0, shot_rms_a(ideal));
+  }
+  if (spec_.drift_a_per_sqrt_s > 0.0) {
+    drift_a_ += rng_.normal(0.0, spec_.drift_a_per_sqrt_s * std::sqrt(dt));
+    noise += drift_a_;
+  }
+  return Current::amps(noise);
+}
+
+}  // namespace biosens::readout

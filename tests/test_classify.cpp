@@ -1,0 +1,132 @@
+// Section 2 taxonomy and the literature-survey database.
+#include <gtest/gtest.h>
+
+#include "classify/survey.hpp"
+#include "classify/taxonomy.hpp"
+
+namespace biosens::classify {
+namespace {
+
+TEST(Taxonomy, Labels) {
+  EXPECT_EQ(to_string(TargetClass::kMetabolite), "metabolite");
+  EXPECT_EQ(to_string(SensingElement::kEnzyme), "enzyme");
+  EXPECT_EQ(to_string(Transduction::kAmperometric), "amperometric");
+  EXPECT_EQ(to_string(Nanomaterial::kCarbonNanotube), "carbon nanotube");
+  EXPECT_EQ(to_string(ElectrodeTechnology::kCmosIntegrated),
+            "CMOS-integrated");
+}
+
+TEST(Taxonomy, CmosFriendliness) {
+  // Section 2.5: electrochemical and charge-based readouts integrate
+  // with CMOS; optical/mechanical ones do not.
+  EXPECT_TRUE(is_cmos_friendly(Transduction::kAmperometric));
+  EXPECT_TRUE(is_cmos_friendly(Transduction::kPotentiometric));
+  EXPECT_TRUE(is_cmos_friendly(Transduction::kFieldEffect));
+  EXPECT_TRUE(is_cmos_friendly(Transduction::kCapacitive));
+  EXPECT_FALSE(is_cmos_friendly(Transduction::kOptical));
+  EXPECT_FALSE(is_cmos_friendly(Transduction::kSurfacePlasmon));
+  EXPECT_FALSE(is_cmos_friendly(Transduction::kPiezoelectric));
+}
+
+TEST(Survey, DatabaseIsPopulated) {
+  EXPECT_GE(survey_database().size(), 40u);
+}
+
+TEST(Survey, EmptyQueryMatchesEverything) {
+  EXPECT_EQ(count(SurveyQuery{}), survey_database().size());
+}
+
+TEST(Survey, AmperometricIsTheLargestTransductionFamily) {
+  // "electrochemical biosensors ... are by far the most reported devices
+  // in literature" (Section 2.3).
+  const auto hist = histogram_by_transduction();
+  const std::size_t amperometric = hist.at("amperometric");
+  for (const auto& [label, n] : hist) {
+    if (label == "amperometric") continue;
+    EXPECT_GT(amperometric, n) << label;
+  }
+}
+
+TEST(Survey, EnzymesAreTheDominantSensingElement) {
+  const auto hist = histogram_by_element();
+  EXPECT_GT(hist.at("enzyme"), hist.at("antibody") / 2);
+  EXPECT_GT(hist.at("enzyme"), hist.at("receptor"));
+}
+
+TEST(Survey, CntIsTheMostReportedNanomaterial) {
+  const auto hist = histogram_by_nanomaterial();
+  const std::size_t cnt = hist.at("carbon nanotube");
+  for (const auto& [label, n] : hist) {
+    if (label == "carbon nanotube" || label == "none") continue;
+    EXPECT_GE(cnt, n) << label;
+  }
+}
+
+TEST(Survey, ConjunctiveFilters) {
+  SurveyQuery q;
+  q.transduction = Transduction::kAmperometric;
+  q.nanomaterial = Nanomaterial::kCarbonNanotube;
+  const auto hits = query(q);
+  EXPECT_GE(hits.size(), 5u);
+  for (const SurveyEntry& e : hits) {
+    EXPECT_EQ(e.transduction, Transduction::kAmperometric);
+    EXPECT_EQ(e.nanomaterial, Nanomaterial::kCarbonNanotube);
+  }
+}
+
+TEST(Survey, PointOfCareFilter) {
+  SurveyQuery q;
+  q.point_of_care = true;
+  const auto poc = query(q);
+  EXPECT_GE(poc.size(), 8u);
+  // The classic example must be in: home glucose strips [30].
+  bool found_glucose_strips = false;
+  for (const SurveyEntry& e : poc) {
+    if (e.reference == "[30]") found_glucose_strips = true;
+  }
+  EXPECT_TRUE(found_glucose_strips);
+}
+
+TEST(Survey, ThisWorkIsClassifiedLikeSection3) {
+  SurveyQuery q;
+  q.nanomaterial = Nanomaterial::kCarbonNanotube;
+  q.transduction = Transduction::kAmperometric;
+  q.point_of_care = true;
+  bool found = false;
+  for (const SurveyEntry& e : query(q)) {
+    if (e.reference == "this work") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Survey, TargetHistogramCoversAllFiveClasses) {
+  const auto hist = histogram_by_target();
+  for (const char* label :
+       {"DNA", "metabolite", "biomarker", "pathogen", "drug"}) {
+    EXPECT_TRUE(hist.contains(label)) << label;
+    EXPECT_GE(hist.at(label), 1u) << label;
+  }
+}
+
+TEST(Survey, ElectrodeHistogramShowsIntegrationLadder) {
+  // Section 2.5's progression: disposable -> conventional ->
+  // microfabricated -> CMOS-integrated all appear in the survey.
+  const auto hist = histogram_by_electrode();
+  EXPECT_GE(hist.at("disposable (screen-printed)"), 3u);
+  EXPECT_GE(hist.at("conventional disc"), 5u);
+  EXPECT_GE(hist.at("microfabricated"), 3u);
+  EXPECT_GE(hist.at("CMOS-integrated"), 2u);
+}
+
+TEST(Survey, FilteredHistogramSubsets) {
+  SurveyQuery q;
+  q.element = SensingElement::kEnzyme;
+  const auto filtered = histogram_by_transduction(q);
+  const auto all = histogram_by_transduction();
+  for (const auto& [label, n] : filtered) {
+    EXPECT_LE(n, all.at(label)) << label;
+  }
+}
+
+}  // namespace
+}  // namespace biosens::classify

@@ -1,0 +1,129 @@
+// Butler-Volmer kinetics and Tafel analysis, with the cross-module
+// consistency check against the Randles charge-transfer resistance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "electrochem/electron_transfer.hpp"
+#include "electrochem/impedance.hpp"
+
+namespace biosens::electrochem {
+namespace {
+
+const CurrentDensity kJ0 = CurrentDensity::amps_per_m2(0.5);
+
+TEST(ButlerVolmer, ZeroOverpotentialGivesZeroCurrent) {
+  EXPECT_DOUBLE_EQ(
+      butler_volmer(kJ0, 0.5, 1, Potential::volts(0.0)).amps_per_m2(),
+      0.0);
+}
+
+TEST(ButlerVolmer, LowOverpotentialIsLinear) {
+  // j ~ j0 * n f eta for |eta| << RT/F.
+  const Potential eta = Potential::millivolts(2.0);
+  const double expected = kJ0.amps_per_m2() * 1.0 * eta.volts() / 0.025693;
+  EXPECT_NEAR(butler_volmer(kJ0, 0.5, 1, eta).amps_per_m2(), expected,
+              0.01 * expected);
+}
+
+TEST(ButlerVolmer, AntisymmetricAtAlphaHalf) {
+  const Potential eta = Potential::millivolts(120.0);
+  const double anodic = butler_volmer(kJ0, 0.5, 1, eta).amps_per_m2();
+  const double cathodic =
+      butler_volmer(kJ0, 0.5, 1, -eta).amps_per_m2();
+  EXPECT_NEAR(anodic, -cathodic, 1e-9 * anodic);
+  EXPECT_GT(anodic, 0.0);
+}
+
+TEST(ButlerVolmer, AsymmetryFollowsAlpha) {
+  const Potential eta = Potential::millivolts(150.0);
+  const double fast_anodic =
+      butler_volmer(kJ0, 0.7, 1, eta).amps_per_m2();
+  const double slow_anodic =
+      butler_volmer(kJ0, 0.3, 1, eta).amps_per_m2();
+  EXPECT_GT(fast_anodic, slow_anodic);
+}
+
+TEST(ButlerVolmer, RejectsNonPhysical) {
+  EXPECT_THROW(butler_volmer(CurrentDensity{}, 0.5, 1, Potential{}),
+               SpecError);
+  EXPECT_THROW(butler_volmer(kJ0, 0.0, 1, Potential{}), SpecError);
+  EXPECT_THROW(butler_volmer(kJ0, 0.5, 0, Potential{}), SpecError);
+}
+
+TEST(ChargeTransfer, MatchesRandlesSmallSignalSlope) {
+  // R_ct from the formula must equal the numerical slope d(eta)/d(j*A)
+  // of the Butler-Volmer curve at eta = 0.
+  const Area area = Area::square_millimeters(13.0);
+  const Resistance rct = charge_transfer_resistance(kJ0, 1, area);
+  const double d_eta = 1e-5;
+  const double di =
+      butler_volmer(kJ0, 0.5, 1, Potential::volts(d_eta)).amps_per_m2() *
+      area.square_meters();
+  EXPECT_NEAR(rct.ohms(), d_eta / di, 0.001 * rct.ohms());
+}
+
+TEST(ChargeTransfer, ConsistentWithImpedanceFit) {
+  // Choose j0 so R_ct = 10 kohm on a 13 mm^2 electrode, build the
+  // Randles circuit with that R_ct, and confirm the spectrum fit
+  // returns the same value — three modules telling one story.
+  const Area area = Area::square_millimeters(13.0);
+  const double rct_target = 10e3;
+  const CurrentDensity j0 = CurrentDensity::amps_per_m2(
+      0.025693 / (rct_target * area.square_meters()));
+  const Resistance rct = charge_transfer_resistance(j0, 1, area);
+  EXPECT_NEAR(rct.ohms(), rct_target, 1.0);
+
+  RandlesCircuit circuit;
+  circuit.solution = Resistance::ohms(150.0);
+  circuit.charge_transfer = rct;
+  circuit.double_layer = Capacitance::micro_farads(1.0);
+  const auto spectrum = sweep_spectrum(circuit, Frequency::kilo_hertz(100.0),
+                                       Frequency::hertz(0.05), 12);
+  EXPECT_NEAR(fit_randles(spectrum).charge_transfer.ohms(), rct_target,
+              0.05 * rct_target);
+}
+
+TEST(Tafel, RecoversExchangeCurrentAndAlpha) {
+  // Synthesize a polarization curve and fit it back.
+  std::vector<Potential> etas;
+  std::vector<CurrentDensity> js;
+  for (double mv = 20.0; mv <= 300.0; mv += 20.0) {
+    etas.push_back(Potential::millivolts(mv));
+    js.push_back(butler_volmer(kJ0, 0.5, 1, Potential::millivolts(mv)));
+  }
+  const TafelFit fit = fit_tafel(etas, js, 1);
+  EXPECT_NEAR(fit.exchange.amps_per_m2(), 0.5, 0.05);
+  EXPECT_NEAR(fit.alpha, 0.5, 0.03);
+  // Classic 118 mV/decade at alpha = 0.5, n = 1.
+  EXPECT_NEAR(fit.slope_per_decade.millivolts(), 118.0, 6.0);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Tafel, IgnoresTheMixedControlRegion) {
+  // Points below the threshold carry back-reaction bias; the fit must
+  // drop them (fewer points used than supplied).
+  std::vector<Potential> etas;
+  std::vector<CurrentDensity> js;
+  for (double mv = 10.0; mv <= 250.0; mv += 10.0) {
+    etas.push_back(Potential::millivolts(mv));
+    js.push_back(butler_volmer(kJ0, 0.5, 1, Potential::millivolts(mv)));
+  }
+  const TafelFit fit = fit_tafel(etas, js, 1);
+  EXPECT_LT(fit.points_used, etas.size());
+  EXPECT_NEAR(fit.alpha, 0.5, 0.03);
+}
+
+TEST(Tafel, RejectsReversibleOnlyData) {
+  std::vector<Potential> etas = {Potential::millivolts(5.0),
+                                 Potential::millivolts(10.0)};
+  std::vector<CurrentDensity> js = {
+      butler_volmer(kJ0, 0.5, 1, etas[0]),
+      butler_volmer(kJ0, 0.5, 1, etas[1])};
+  EXPECT_THROW(fit_tafel(etas, js, 1), AnalysisError);
+}
+
+}  // namespace
+}  // namespace biosens::electrochem

@@ -1,0 +1,151 @@
+// Impedance spectroscopy: Randles circuit physics, spectrum analysis,
+// and the impedimetric immunosensor of the Section 2.3 survey.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "electrochem/impedance.hpp"
+
+namespace biosens::electrochem {
+namespace {
+
+RandlesCircuit standard_circuit() {
+  RandlesCircuit c;
+  c.solution = Resistance::ohms(100.0);
+  c.charge_transfer = Resistance::kilo_ohms(10.0);
+  c.double_layer = Capacitance::micro_farads(1.0);
+  return c;
+}
+
+TEST(Impedance, HighFrequencyLimitIsSolutionResistance) {
+  const auto z = impedance(standard_circuit(), Frequency::kilo_hertz(1e4));
+  EXPECT_NEAR(z.real(), 100.0, 1.0);
+  EXPECT_NEAR(z.imag(), 0.0, 5.0);
+}
+
+TEST(Impedance, LowFrequencyLimitIsTotalResistance) {
+  const auto z = impedance(standard_circuit(), Frequency::hertz(1e-3));
+  EXPECT_NEAR(z.real(), 10100.0, 10.0);
+  EXPECT_NEAR(z.imag(), 0.0, 20.0);
+}
+
+TEST(Impedance, SemicircleApexAtCharacteristicFrequency) {
+  // Apex at omega = 1/(R_ct * C_dl) with |Im| = R_ct / 2.
+  const RandlesCircuit c = standard_circuit();
+  const double f_apex =
+      1.0 / (2.0 * std::numbers::pi * c.charge_transfer.ohms() *
+             c.double_layer.farads());
+  const auto z = impedance(c, Frequency::hertz(f_apex));
+  EXPECT_NEAR(-z.imag(), 5000.0, 10.0);
+  EXPECT_NEAR(z.real(), 100.0 + 5000.0, 10.0);
+}
+
+TEST(Impedance, WarburgTailAt45Degrees) {
+  RandlesCircuit c = standard_circuit();
+  c.charge_transfer = Resistance::ohms(100.0);  // small, so W dominates
+  c.warburg_sigma = 500.0;
+  // At low frequency the diffusion impedance dominates: Re' and -Im'
+  // grow together (45-degree line).
+  const auto z1 = impedance(c, Frequency::hertz(0.01));
+  const auto z2 = impedance(c, Frequency::hertz(0.0025));
+  const double d_re = z2.real() - z1.real();
+  const double d_im = -(z2.imag() - z1.imag());
+  EXPECT_NEAR(d_re / d_im, 1.0, 0.05);
+}
+
+TEST(Impedance, SpectrumSweepIsLogSpacedAndDescending) {
+  const auto s = sweep_spectrum(standard_circuit(),
+                                Frequency::kilo_hertz(100.0),
+                                Frequency::hertz(0.1), 10);
+  ASSERT_GE(s.size(), 60u);
+  EXPECT_NEAR(s.frequency_hz.front(), 1e5, 1.0);
+  EXPECT_NEAR(s.frequency_hz.back(), 0.1, 1e-3);
+  // Log spacing: constant ratio between consecutive points.
+  const double r0 = s.frequency_hz[0] / s.frequency_hz[1];
+  const double r1 = s.frequency_hz[5] / s.frequency_hz[6];
+  EXPECT_NEAR(r0, r1, 1e-6);
+}
+
+TEST(Impedance, FitRecoversCircuitParameters) {
+  const RandlesCircuit truth = standard_circuit();
+  const auto s = sweep_spectrum(truth, Frequency::kilo_hertz(100.0),
+                                Frequency::hertz(0.05), 12);
+  const RandlesFit fit = fit_randles(s);
+  EXPECT_NEAR(fit.solution.ohms(), 100.0, 10.0);
+  EXPECT_NEAR(fit.charge_transfer.ohms(), 10000.0, 500.0);
+  EXPECT_NEAR(fit.double_layer.micro_farads(), 1.0, 0.15);
+}
+
+TEST(Impedance, FitSurvivesMeasurementNoise) {
+  Rng rng(5);
+  const auto s =
+      sweep_spectrum(standard_circuit(), Frequency::kilo_hertz(100.0),
+                     Frequency::hertz(0.05), 12, 0.01, &rng);
+  const RandlesFit fit = fit_randles(s);
+  EXPECT_NEAR(fit.charge_transfer.ohms(), 10000.0, 1500.0);
+}
+
+TEST(Impedance, FitRejectsTruncatedSweep) {
+  // A sweep that stops at 100 Hz never closes the semicircle.
+  const auto s = sweep_spectrum(standard_circuit(),
+                                Frequency::kilo_hertz(100.0),
+                                Frequency::hertz(100.0), 12);
+  EXPECT_THROW(fit_randles(s), AnalysisError);
+}
+
+TEST(Impedance, RejectsNonPhysicalCircuits) {
+  RandlesCircuit bad = standard_circuit();
+  bad.charge_transfer = Resistance::ohms(0.0);
+  EXPECT_THROW(impedance(bad, Frequency::hertz(1.0)), SpecError);
+  EXPECT_THROW(impedance(standard_circuit(), Frequency::hertz(0.0)),
+               NumericsError);
+}
+
+class ImmunosensorFixture : public ::testing::Test {
+ protected:
+  ImmunosensorFixture()
+      : sensor_(standard_circuit(), Concentration::nano_molar(5.0), 6.0) {}
+  ImpedimetricImmunosensor sensor_;
+};
+
+TEST_F(ImmunosensorFixture, LangmuirOccupancy) {
+  EXPECT_DOUBLE_EQ(sensor_.occupancy(Concentration{}), 0.0);
+  EXPECT_NEAR(sensor_.occupancy(Concentration::nano_molar(5.0)), 0.5,
+              1e-12);
+  EXPECT_NEAR(sensor_.occupancy(Concentration::micro_molar(5.0)), 1.0,
+              1e-3);
+}
+
+TEST_F(ImmunosensorFixture, BindingRaisesRctAndLowersCdl) {
+  const RandlesCircuit bound =
+      sensor_.circuit_at(Concentration::micro_molar(1.0));
+  EXPECT_GT(bound.charge_transfer.ohms(),
+            sensor_.baseline().charge_transfer.ohms() * 5.0);
+  EXPECT_LT(bound.double_layer.farads(),
+            sensor_.baseline().double_layer.farads());
+}
+
+TEST_F(ImmunosensorFixture, AssayResponseIsMonotone) {
+  Rng rng(9);
+  double prev = -1.0;
+  for (double nm : {0.5, 2.0, 5.0, 20.0, 100.0}) {
+    const double response = sensor_.relative_rct_change(
+        Concentration::nano_molar(nm), 0.0, rng);
+    EXPECT_GT(response, prev) << nm;
+    prev = response;
+  }
+  // Saturation at ~ (gain - 1).
+  EXPECT_NEAR(prev, 5.0, 0.3);
+}
+
+TEST_F(ImmunosensorFixture, HalfSaturationNearKd) {
+  Rng rng(9);
+  const double at_kd = sensor_.relative_rct_change(
+      Concentration::nano_molar(5.0), 0.0, rng);
+  EXPECT_NEAR(at_kd, 2.5, 0.3);  // half of (gain-1) = 2.5
+}
+
+}  // namespace
+}  // namespace biosens::electrochem

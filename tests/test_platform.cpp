@@ -1,0 +1,129 @@
+// The multi-target platform: calibration, panel assays, scheduling.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/platform.hpp"
+
+namespace biosens::core {
+namespace {
+
+// A lean two-sensor platform for the cheaper tests.
+Platform small_platform() {
+  Platform p;
+  p.add_sensor(entry_or_throw("MWCNT/Nafion + GOD (this work)"));
+  p.add_sensor(entry_or_throw("MWCNT + CYP (cyclophosphamide)"));
+  return p;
+}
+
+ProtocolOptions quick_options() {
+  ProtocolOptions o;
+  o.blank_repeats = 8;
+  o.replicates = 1;
+  return o;
+}
+
+TEST(Platform, PaperPlatformHasSevenSensors) {
+  EXPECT_EQ(Platform::paper_platform().sensor_count(), 7u);
+}
+
+TEST(Platform, AssayRequiresCalibration) {
+  Platform p = small_platform();
+  Rng rng(1);
+  EXPECT_THROW(p.assay(chem::blank_sample(), rng), SpecError);
+  EXPECT_FALSE(p.calibrated());
+}
+
+TEST(Platform, CannotAddSensorsAfterCalibration) {
+  Platform p = small_platform();
+  Rng rng(1);
+  p.calibrate_all(rng, quick_options());
+  EXPECT_TRUE(p.calibrated());
+  EXPECT_THROW(
+      p.add_sensor(entry_or_throw("MWCNT/Nafion + LOD (this work)")),
+      SpecError);
+}
+
+TEST(Platform, AssayRecoversSpikedConcentrations) {
+  Platform p = small_platform();
+  Rng rng(3);
+  p.calibrate_all(rng, quick_options());
+
+  chem::Sample sample = chem::blank_sample();
+  sample.set("glucose", Concentration::milli_molar(0.5));
+  sample.set("cyclophosphamide", Concentration::micro_molar(40.0));
+
+  const PanelReport report = p.assay(sample, rng);
+  ASSERT_EQ(report.results.size(), 2u);
+
+  const AssayResult& glucose = report.for_target("glucose");
+  EXPECT_NEAR(glucose.estimated.milli_molar(), 0.5, 0.1);
+  EXPECT_TRUE(glucose.above_lod);
+  EXPECT_TRUE(glucose.within_linear_range);
+
+  const AssayResult& cp = report.for_target("cyclophosphamide");
+  EXPECT_NEAR(cp.estimated.micro_molar(), 40.0, 10.0);
+  EXPECT_TRUE(cp.above_lod);
+}
+
+TEST(Platform, BlankAssayReadsBelowLod) {
+  Platform p = small_platform();
+  Rng rng(5);
+  p.calibrate_all(rng, quick_options());
+  const PanelReport report = p.assay(chem::blank_sample(), rng);
+  EXPECT_FALSE(report.for_target("glucose").above_lod);
+}
+
+TEST(Platform, MissingTargetThrows) {
+  Platform p = small_platform();
+  Rng rng(1);
+  p.calibrate_all(rng, quick_options());
+  const PanelReport report = p.assay(chem::blank_sample(), rng);
+  EXPECT_THROW(report.for_target("lactate"), AnalysisError);
+}
+
+TEST(Platform, SchedulerRunsChipChannelsConcurrently) {
+  // Three oxidase sensors share the microfabricated chip: panel time is
+  // the longest chip measurement, not the sum.
+  Platform oxidases;
+  oxidases.add_sensor(entry_or_throw("MWCNT/Nafion + GOD (this work)"));
+  oxidases.add_sensor(entry_or_throw("MWCNT/Nafion + LOD (this work)"));
+  oxidases.add_sensor(entry_or_throw("MWCNT/Nafion + GlOD (this work)"));
+  EXPECT_DOUBLE_EQ(oxidases.scheduled_panel_time().seconds(), 30.0);
+}
+
+TEST(Platform, SchedulerSerializesScreenPrintedElectrodes) {
+  // CYP sweeps are 32 s each on separate SPEs: strictly additive.
+  Platform cyps;
+  cyps.add_sensor(entry_or_throw("MWCNT + CYP (cyclophosphamide)"));
+  cyps.add_sensor(entry_or_throw("MWCNT + CYP (ifosfamide)"));
+  EXPECT_DOUBLE_EQ(cyps.scheduled_panel_time().seconds(), 64.0);
+}
+
+TEST(Platform, FullPanelTimeCombinesBoth) {
+  const Platform p = Platform::paper_platform();
+  // 3 chip sensors (30 s concurrent) + 4 SPE sweeps (32 s each).
+  EXPECT_DOUBLE_EQ(p.scheduled_panel_time().seconds(), 30.0 + 4.0 * 32.0);
+}
+
+TEST(Platform, SampleVolumeAggregates) {
+  Platform p = small_platform();
+  Rng rng(1);
+  p.calibrate_all(rng, quick_options());
+  const PanelReport report = p.assay(chem::blank_sample(), rng);
+  // 5 uL (chip) + 50 uL (SPE).
+  EXPECT_NEAR(report.sample_volume_required.microliters(), 55.0, 1e-9);
+}
+
+TEST(Platform, CalibrationAccessors) {
+  Platform p = small_platform();
+  Rng rng(9);
+  p.calibrate_all(rng, quick_options());
+  EXPECT_GT(p.calibration(0).fit.slope, 0.0);
+  EXPECT_GT(p.calibration(1).fit.slope, 0.0);
+  EXPECT_THROW(p.calibration(7), SpecError);
+  EXPECT_NO_THROW(p.sensor(1));
+  EXPECT_THROW(p.sensor(7), SpecError);
+}
+
+}  // namespace
+}  // namespace biosens::core

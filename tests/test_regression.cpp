@@ -1,0 +1,110 @@
+// Least-squares kernels: exact recovery, statistics, weighting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/regression.hpp"
+#include "common/rng.hpp"
+
+namespace biosens {
+namespace {
+
+TEST(Ols, RecoversExactLine) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit fit = fit_ols(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-12);
+  EXPECT_EQ(fit.n, 4u);
+  EXPECT_NEAR(fit.predict(10.0), 24.0, 1e-12);
+}
+
+TEST(Ols, TwoPointsInterpolate) {
+  const LinearFit fit = fit_ols(std::vector<double>{1.0, 3.0},
+                                std::vector<double>{2.0, 6.0});
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fit.slope_stderr, 0.0);  // no dof
+}
+
+TEST(Ols, KnownStandardErrors) {
+  // Anscombe-like small set with known algebra: xs symmetric about 2.
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {1.0, 3.0, 2.0};
+  const LinearFit fit = fit_ols(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  // SSE = (1-1.5)^2 + (3-2)^2 + (2-2.5)^2 = 1.5; mse = 1.5; sxx = 2.
+  EXPECT_NEAR(fit.residual_stddev, std::sqrt(1.5), 1e-12);
+  EXPECT_NEAR(fit.slope_stderr, std::sqrt(1.5 / 2.0), 1e-12);
+}
+
+TEST(Ols, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_ols(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               NumericsError);
+  EXPECT_THROW(fit_ols(std::vector<double>{2.0, 2.0, 2.0},
+                       std::vector<double>{1.0, 2.0, 3.0}),
+               NumericsError);
+  EXPECT_THROW(fit_ols(std::vector<double>{1.0, 2.0},
+                       std::vector<double>{1.0}),
+               NumericsError);
+}
+
+TEST(Wls, DownweightsOutlier) {
+  // Clean line y = x, one gross outlier at x=4 with tiny weight.
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0, 3.0, 100.0};
+  const std::vector<double> ws = {1.0, 1.0, 1.0, 1.0, 1e-9};
+  const LinearFit fit = fit_wls(xs, ys, ws);
+  EXPECT_NEAR(fit.slope, 1.0, 1e-4);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-4);
+}
+
+TEST(Wls, EqualWeightsMatchOls) {
+  Rng rng(7);
+  std::vector<double> xs, ys, ws;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i * 0.5);
+    ys.push_back(3.0 * xs.back() + rng.normal(0.0, 0.1));
+    ws.push_back(2.0);  // any constant weight
+  }
+  const LinearFit a = fit_ols(xs, ys);
+  const LinearFit b = fit_wls(xs, ys, ws);
+  EXPECT_NEAR(a.slope, b.slope, 1e-12);
+  EXPECT_NEAR(a.intercept, b.intercept, 1e-12);
+  EXPECT_NEAR(a.r_squared, b.r_squared, 1e-12);
+}
+
+TEST(Wls, RejectsNonPositiveWeights) {
+  EXPECT_THROW(fit_wls(std::vector<double>{1.0, 2.0},
+                       std::vector<double>{1.0, 2.0},
+                       std::vector<double>{1.0, 0.0}),
+               NumericsError);
+}
+
+// Property: fitted slope approaches truth as noise shrinks.
+class OlsNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(OlsNoise, SlopeWithinThreeSigma) {
+  const double noise = GetParam();
+  Rng rng(1234);
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 50; ++i) {
+    xs.push_back(i * 0.1);
+    ys.push_back(7.0 * xs.back() + 2.0 + rng.normal(0.0, noise));
+  }
+  const LinearFit fit = fit_ols(xs, ys);
+  const double tolerance = 3.0 * std::max(fit.slope_stderr, 1e-12);
+  EXPECT_NEAR(fit.slope, 7.0, tolerance + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, OlsNoise,
+                         ::testing::Values(0.0, 0.01, 0.1, 1.0));
+
+}  // namespace
+}  // namespace biosens

@@ -1,0 +1,89 @@
+// Samples and buffers.
+#include <gtest/gtest.h>
+
+#include "chem/solution.hpp"
+#include "common/error.hpp"
+
+namespace biosens::chem {
+namespace {
+
+TEST(Sample, SetAndGet) {
+  Sample s;
+  s.set("glucose", Concentration::milli_molar(5.0));
+  EXPECT_DOUBLE_EQ(s.concentration_of("glucose").milli_molar(), 5.0);
+  EXPECT_TRUE(s.contains("glucose"));
+  EXPECT_FALSE(s.contains("lactate"));
+  EXPECT_DOUBLE_EQ(s.concentration_of("lactate").milli_molar(), 0.0);
+}
+
+TEST(Sample, SetOverwrites) {
+  Sample s;
+  s.set("glucose", Concentration::milli_molar(5.0));
+  s.set("glucose", Concentration::milli_molar(2.0));
+  EXPECT_DOUBLE_EQ(s.concentration_of("glucose").milli_molar(), 2.0);
+}
+
+TEST(Sample, SpikeAccumulates) {
+  Sample s;
+  s.spike("lactate", Concentration::milli_molar(0.5));
+  s.spike("lactate", Concentration::milli_molar(0.25));
+  EXPECT_DOUBLE_EQ(s.concentration_of("lactate").milli_molar(), 0.75);
+}
+
+TEST(Sample, DiluteScalesEverySpecies) {
+  Sample s;
+  s.set("glucose", Concentration::milli_molar(4.0));
+  s.set("lactate", Concentration::milli_molar(2.0));
+  s.dilute(2.0);
+  EXPECT_DOUBLE_EQ(s.concentration_of("glucose").milli_molar(), 2.0);
+  EXPECT_DOUBLE_EQ(s.concentration_of("lactate").milli_molar(), 1.0);
+}
+
+TEST(Sample, RejectsNonPhysical) {
+  Sample s;
+  EXPECT_THROW(s.set("glucose", Concentration::milli_molar(-1.0)),
+               SpecError);
+  EXPECT_THROW(s.spike("glucose", Concentration::milli_molar(-1.0)),
+               SpecError);
+  EXPECT_THROW(s.dilute(0.5), SpecError);
+}
+
+TEST(Sample, SpeciesNamesSorted) {
+  Sample s;
+  s.set("lactate", Concentration::milli_molar(1.0));
+  s.set("glucose", Concentration::milli_molar(1.0));
+  const auto names = s.species_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "glucose");
+  EXPECT_EQ(names[1], "lactate");
+  EXPECT_EQ(s.species_count(), 2u);
+}
+
+TEST(Sample, DefaultBufferIsPhysiologicalPbs) {
+  const Sample s = blank_sample();
+  EXPECT_EQ(s.buffer().name, "PBS");
+  EXPECT_NEAR(s.buffer().ph, 7.4, 1e-12);
+  EXPECT_EQ(s.species_count(), 0u);
+}
+
+TEST(Sample, CalibrationSampleIsSingleAnalyte) {
+  const Sample s =
+      calibration_sample("glucose", Concentration::milli_molar(1.0));
+  EXPECT_EQ(s.species_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.concentration_of("glucose").milli_molar(), 1.0);
+}
+
+TEST(Sample, SerumSampleCarriesInterferentPanel) {
+  const Sample s =
+      serum_sample("cyclophosphamide", Concentration::micro_molar(50.0));
+  EXPECT_TRUE(s.contains("cyclophosphamide"));
+  EXPECT_TRUE(s.contains("ascorbic acid"));
+  EXPECT_TRUE(s.contains("uric acid"));
+  EXPECT_TRUE(s.contains("paracetamol"));
+  // Interferents at mid-physiological levels.
+  EXPECT_NEAR(s.concentration_of("ascorbic acid").micro_molar(), 60.0, 1.0);
+  EXPECT_NEAR(s.concentration_of("uric acid").micro_molar(), 300.0, 1.0);
+}
+
+}  // namespace
+}  // namespace biosens::chem

@@ -1,0 +1,76 @@
+// Descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace biosens {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  // Sum of squared deviations = 32; sample variance = 32/7.
+  EXPECT_NEAR(sample_variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Stats, Rms) {
+  const std::vector<double> xs = {3.0, -4.0};
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, SingletonSummaryHasZeroStddev) {
+  const Summary s = summarize(std::vector<double>{42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), NumericsError);
+  EXPECT_THROW(median(empty), NumericsError);
+  EXPECT_THROW(rms(empty), NumericsError);
+  EXPECT_THROW(summarize(empty), NumericsError);
+  EXPECT_THROW(sample_variance(std::vector<double>{1.0}), NumericsError);
+  EXPECT_THROW(percentile(empty, 50.0), NumericsError);
+}
+
+TEST(Stats, PercentileRejectsBadP) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(percentile(xs, -1.0), NumericsError);
+  EXPECT_THROW(percentile(xs, 101.0), NumericsError);
+}
+
+}  // namespace
+}  // namespace biosens

@@ -1,0 +1,73 @@
+// Table export utility.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace biosens {
+namespace {
+
+TEST(Table, CsvBasics) {
+  Table t({"device", "sensitivity", "lod"});
+  t.add_row({"MWCNT/Nafion + GOD", "55.5", "2"});
+  t.add_row({"CNT mat + GOD", "4.05", "-"});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv,
+            "device,sensitivity,lod\n"
+            "MWCNT/Nafion + GOD,55.5,2\n"
+            "CNT mat + GOD,4.05,-\n");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Table, CsvQuotingRfc4180) {
+  Table t({"a", "b"});
+  t.add_row({"comma, inside", "quote \" inside"});
+  t.add_row({"new\nline", "plain"});
+  EXPECT_EQ(t.to_csv(),
+            "a,b\n"
+            "\"comma, inside\",\"quote \"\" inside\"\n"
+            "\"new\nline\",plain\n");
+}
+
+TEST(Table, NumericRows) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.5, 2.25e-6});
+  EXPECT_EQ(t.to_csv(), "x,y\n1.5,2.25e-06\n");
+}
+
+TEST(Table, Markdown) {
+  Table t({"name", "value"});
+  t.add_row({"pipe | inside", "1"});
+  EXPECT_EQ(t.to_markdown(),
+            "| name | value |\n"
+            "|---|---|\n"
+            "| pipe \\| inside | 1 |\n");
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  EXPECT_THROW(Table{std::vector<std::string>{}}, Error);
+}
+
+TEST(Table, WritesFiles) {
+  const std::string path = "/tmp/biosens_table_test.csv";
+  Table t({"k"});
+  t.add_row({"v"});
+  Table::write_file(path, t.to_csv());
+  std::ifstream file(path);
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "k");
+  std::getline(file, line);
+  EXPECT_EQ(line, "v");
+  std::remove(path.c_str());
+  EXPECT_THROW(Table::write_file("/nonexistent-dir/x.csv", "y"), Error);
+}
+
+}  // namespace
+}  // namespace biosens

@@ -1,0 +1,142 @@
+// Unit-safety layer: conversions, arithmetic, cross-unit operators and
+// formatting.
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace biosens {
+namespace {
+
+TEST(Units, ConcentrationConversionsRoundTrip) {
+  const Concentration c = Concentration::micro_molar(70.0);
+  EXPECT_DOUBLE_EQ(c.milli_molar(), 0.07);
+  EXPECT_DOUBLE_EQ(c.micro_molar(), 70.0);
+  EXPECT_DOUBLE_EQ(c.nano_molar(), 70000.0);
+  EXPECT_DOUBLE_EQ(Concentration::molar(1.0).milli_molar(), 1000.0);
+}
+
+TEST(Units, ConcentrationCanonicalIsMillimolar) {
+  // 1 mol/m^3 == 1 mM: the canonical value must equal the mM reading.
+  const Concentration c = Concentration::milli_molar(3.5);
+  EXPECT_DOUBLE_EQ(c.raw(), 3.5);
+}
+
+TEST(Units, CurrentScales) {
+  const Current i = Current::micro_amps(2.5);
+  EXPECT_DOUBLE_EQ(i.amps(), 2.5e-6);
+  EXPECT_DOUBLE_EQ(i.milli_amps(), 2.5e-3);
+  EXPECT_DOUBLE_EQ(i.nano_amps(), 2500.0);
+  EXPECT_DOUBLE_EQ(i.pico_amps(), 2.5e6);
+}
+
+TEST(Units, AreaScales) {
+  const Area spe = Area::square_millimeters(13.0);
+  EXPECT_DOUBLE_EQ(spe.square_centimeters(), 0.13);
+  EXPECT_NEAR(spe.square_meters(), 1.3e-5, 1e-18);
+}
+
+TEST(Units, SensitivityPaperUnit) {
+  // 1 uA mM^-1 cm^-2 == 1e-2 A m^-2 mM^-1 canonical.
+  const Sensitivity s = Sensitivity::micro_amp_per_milli_molar_cm2(55.5);
+  EXPECT_DOUBLE_EQ(s.raw(), 0.555);
+  EXPECT_DOUBLE_EQ(s.micro_amp_per_milli_molar_cm2(), 55.5);
+}
+
+TEST(Units, ArithmeticWithinAUnit) {
+  const Potential a = Potential::millivolts(650.0);
+  const Potential b = Potential::millivolts(-50.0);
+  EXPECT_DOUBLE_EQ((a + b).millivolts(), 600.0);
+  EXPECT_DOUBLE_EQ((a - b).millivolts(), 700.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).millivolts(), 1300.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).millivolts(), 325.0);
+  EXPECT_DOUBLE_EQ(a / b, -13.0);  // dimensionless ratio
+  EXPECT_DOUBLE_EQ((-b).millivolts(), 50.0);
+}
+
+TEST(Units, CompoundAssignment) {
+  Current i = Current::nano_amps(10.0);
+  i += Current::nano_amps(5.0);
+  EXPECT_DOUBLE_EQ(i.nano_amps(), 15.0);
+  i -= Current::nano_amps(10.0);
+  EXPECT_DOUBLE_EQ(i.nano_amps(), 5.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Concentration::micro_molar(2.0), Concentration::milli_molar(1.0));
+  EXPECT_EQ(Concentration::micro_molar(1000.0),
+            Concentration::milli_molar(1.0));
+  EXPECT_GT(Time::minutes(1.0), Time::seconds(59.0));
+}
+
+TEST(Units, CurrentDensityTimesAreaIsCurrent) {
+  const CurrentDensity j = CurrentDensity::micro_amps_per_cm2(100.0);
+  const Area a = Area::square_centimeters(0.13);
+  EXPECT_NEAR((j * a).micro_amps(), 13.0, 1e-12);
+  EXPECT_NEAR(((j * a) / a).micro_amps_per_cm2(), 100.0, 1e-9);
+}
+
+TEST(Units, OhmsLawAndCharge) {
+  const Current i = Current::micro_amps(1.0);
+  const Resistance r = Resistance::mega_ohms(1.0);
+  EXPECT_DOUBLE_EQ((i * r).volts(), 1.0);
+  EXPECT_DOUBLE_EQ((Potential::volts(1.2) / r).micro_amps(), 1.2);
+  EXPECT_DOUBLE_EQ((i * Time::seconds(2.0)).micro_coulombs(), 2.0);
+}
+
+TEST(Units, SensitivityFromDensityOverConcentration) {
+  const CurrentDensity j = CurrentDensity::micro_amps_per_cm2(55.5);
+  const Concentration c = Concentration::milli_molar(1.0);
+  EXPECT_NEAR((j / c).micro_amp_per_milli_molar_cm2(), 55.5, 1e-9);
+  // And back: sensitivity * concentration reproduces the density.
+  EXPECT_NEAR(((j / c) * c).micro_amps_per_cm2(), 55.5, 1e-9);
+}
+
+TEST(Units, ScanRateTimesTime) {
+  const ScanRate nu = ScanRate::millivolts_per_second(50.0);
+  EXPECT_DOUBLE_EQ((nu * Time::seconds(16.0)).volts(), 0.8);
+}
+
+TEST(Units, TemperatureCelsius) {
+  EXPECT_DOUBLE_EQ(Temperature::celsius(25.0).kelvin(), 298.15);
+  EXPECT_DOUBLE_EQ(Temperature::kelvin(310.15).celsius(), 37.0);
+}
+
+TEST(Units, FormattingPicksReadableScales) {
+  EXPECT_EQ(to_string(Concentration::micro_molar(2.0)), "2 uM");
+  EXPECT_EQ(to_string(Concentration::milli_molar(1.5)), "1.5 mM");
+  EXPECT_EQ(to_string(Current::nano_amps(3.0)), "3 nA");
+  EXPECT_EQ(to_string(Potential::millivolts(650.0)), "650 mV");
+  EXPECT_EQ(to_string(Sensitivity::micro_amp_per_milli_molar_cm2(55.5)),
+            "55.5 uA/mM/cm^2");
+  EXPECT_EQ(to_string(Area::square_millimeters(13.0)), "13 mm^2");
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Current{}.amps(), 0.0);
+  EXPECT_DOUBLE_EQ(Concentration{}.milli_molar(), 0.0);
+  EXPECT_DOUBLE_EQ(Potential{}.volts(), 0.0);
+}
+
+// Round-trip property across representative magnitudes.
+class UnitsRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnitsRoundTrip, ConcentrationThroughMicroMolar) {
+  const double mm = GetParam();
+  const Concentration c = Concentration::milli_molar(mm);
+  EXPECT_NEAR(Concentration::micro_molar(c.micro_molar()).milli_molar(), mm,
+              1e-12 * std::abs(mm) + 1e-300);
+}
+
+TEST_P(UnitsRoundTrip, CurrentThroughPicoAmps) {
+  const double amps = GetParam() * 1e-6;
+  const Current i = Current::amps(amps);
+  EXPECT_NEAR(Current::pico_amps(i.pico_amps()).amps(), amps,
+              1e-12 * std::abs(amps) + 1e-300);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, UnitsRoundTrip,
+                         ::testing::Values(1e-6, 1e-3, 0.07, 1.0, 13.0,
+                                           1e3, 1e6));
+
+}  // namespace
+}  // namespace biosens

@@ -1,0 +1,123 @@
+// Potentiostat waveforms: shapes, durations, slopes.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "electrochem/waveform.hpp"
+
+namespace biosens::electrochem {
+namespace {
+
+TEST(PotentialStep, HoldsValue) {
+  const PotentialStep step(Potential::volts(0.0),
+                           Potential::millivolts(650.0),
+                           Time::seconds(30.0));
+  EXPECT_DOUBLE_EQ(step.at(Time::seconds(-1.0)).volts(), 0.0);
+  EXPECT_DOUBLE_EQ(step.at(Time::seconds(0.0)).millivolts(), 650.0);
+  EXPECT_DOUBLE_EQ(step.at(Time::seconds(29.0)).millivolts(), 650.0);
+  EXPECT_DOUBLE_EQ(step.duration().seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(step.slope_at(Time::seconds(5.0)).volts_per_second(),
+                   0.0);
+}
+
+TEST(PotentialStep, RejectsZeroHold) {
+  EXPECT_THROW(PotentialStep(Potential{}, Potential::volts(0.5),
+                             Time::seconds(0.0)),
+               SpecError);
+}
+
+TEST(LinearSweep, RampsUpAndDown) {
+  const LinearSweep up(Potential::volts(0.0), Potential::volts(0.5),
+                       ScanRate::millivolts_per_second(100.0));
+  EXPECT_DOUBLE_EQ(up.duration().seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(up.at(Time::seconds(2.5)).volts(), 0.25);
+  EXPECT_DOUBLE_EQ(up.slope_at(Time::seconds(1.0)).volts_per_second(), 0.1);
+
+  const LinearSweep down(Potential::volts(0.2), Potential::volts(-0.6),
+                         ScanRate::millivolts_per_second(50.0));
+  EXPECT_DOUBLE_EQ(down.duration().seconds(), 16.0);
+  EXPECT_DOUBLE_EQ(down.at(Time::seconds(8.0)).volts(), -0.2);
+  EXPECT_DOUBLE_EQ(down.slope_at(Time::seconds(1.0)).volts_per_second(),
+                   -0.05);
+}
+
+TEST(LinearSweep, ClampsOutsideProgram) {
+  const LinearSweep up(Potential::volts(0.0), Potential::volts(0.5),
+                       ScanRate::millivolts_per_second(100.0));
+  EXPECT_DOUBLE_EQ(up.at(Time::seconds(100.0)).volts(), 0.5);
+  EXPECT_DOUBLE_EQ(up.slope_at(Time::seconds(100.0)).volts_per_second(),
+                   0.0);
+}
+
+TEST(CyclicSweep, TriangleShape) {
+  const CyclicSweep cv(Potential::millivolts(200.0),
+                       Potential::millivolts(-600.0),
+                       ScanRate::millivolts_per_second(50.0));
+  EXPECT_DOUBLE_EQ(cv.half_period().seconds(), 16.0);
+  EXPECT_DOUBLE_EQ(cv.duration().seconds(), 32.0);
+  EXPECT_DOUBLE_EQ(cv.at(Time::seconds(0.0)).millivolts(), 200.0);
+  EXPECT_NEAR(cv.at(Time::seconds(16.0)).millivolts(), -600.0, 1e-9);
+  EXPECT_NEAR(cv.at(Time::seconds(32.0)).millivolts(), 200.0, 1e-9);
+  // Forward branch sweeps cathodic, return sweeps anodic.
+  EXPECT_LT(cv.slope_at(Time::seconds(5.0)).volts_per_second(), 0.0);
+  EXPECT_GT(cv.slope_at(Time::seconds(20.0)).volts_per_second(), 0.0);
+}
+
+TEST(CyclicSweep, MultipleCycles) {
+  const CyclicSweep cv(Potential::volts(0.0), Potential::volts(0.4),
+                       ScanRate::millivolts_per_second(100.0), 3);
+  EXPECT_DOUBLE_EQ(cv.duration().seconds(), 24.0);
+  // Periodicity: same phase one period later.
+  EXPECT_NEAR(cv.at(Time::seconds(1.0)).volts(),
+              cv.at(Time::seconds(9.0)).volts(), 1e-9);
+}
+
+TEST(CyclicSweep, RejectsBadArguments) {
+  EXPECT_THROW(CyclicSweep(Potential::volts(0.1), Potential::volts(0.1),
+                           ScanRate::millivolts_per_second(50.0)),
+               SpecError);
+  EXPECT_THROW(CyclicSweep(Potential::volts(0.0), Potential::volts(0.4),
+                           ScanRate::volts_per_second(0.0)),
+               SpecError);
+  EXPECT_THROW(CyclicSweep(Potential::volts(0.0), Potential::volts(0.4),
+                           ScanRate::millivolts_per_second(50.0), 0),
+               SpecError);
+}
+
+TEST(DifferentialPulse, StaircaseWithPulses) {
+  const DifferentialPulse dpv(
+      Potential::volts(0.2), Potential::volts(-0.6),
+      Potential::millivolts(-5.0), Potential::millivolts(-50.0),
+      Time::milliseconds(100.0), Time::milliseconds(25.0));
+  EXPECT_EQ(dpv.step_count(), 161u);
+  EXPECT_NEAR(dpv.duration().seconds(), 16.1, 1e-9);
+  // Early in a period: base value; tail of the period: base + pulse.
+  EXPECT_NEAR(dpv.at(Time::milliseconds(10.0)).volts(), 0.2, 1e-9);
+  EXPECT_NEAR(dpv.at(Time::milliseconds(90.0)).volts(), 0.15, 1e-9);
+  // Second step base is 5 mV lower.
+  EXPECT_NEAR(dpv.at(Time::milliseconds(110.0)).volts(), 0.195, 1e-9);
+}
+
+TEST(DifferentialPulse, RejectsInconsistentDirections) {
+  EXPECT_THROW(DifferentialPulse(
+                   Potential::volts(0.2), Potential::volts(-0.6),
+                   Potential::millivolts(+5.0), Potential::millivolts(-50.0),
+                   Time::milliseconds(100.0), Time::milliseconds(25.0)),
+               SpecError);
+  EXPECT_THROW(DifferentialPulse(
+                   Potential::volts(0.0), Potential::volts(0.5),
+                   Potential::millivolts(5.0), Potential::millivolts(50.0),
+                   Time::milliseconds(100.0), Time::milliseconds(200.0)),
+               SpecError);
+}
+
+TEST(SampleTimes, CoversDuration) {
+  const PotentialStep step(Potential{}, Potential::volts(0.65),
+                           Time::seconds(2.0));
+  const auto times = sample_times(step, Frequency::hertz(10.0));
+  ASSERT_GE(times.size(), 21u);
+  EXPECT_DOUBLE_EQ(times.front(), 0.0);
+  EXPECT_DOUBLE_EQ(times.back(), 2.0);
+}
+
+}  // namespace
+}  // namespace biosens::electrochem
