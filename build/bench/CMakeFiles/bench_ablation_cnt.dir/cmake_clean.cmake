@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cnt.dir/bench_ablation_cnt.cpp.o"
+  "CMakeFiles/bench_ablation_cnt.dir/bench_ablation_cnt.cpp.o.d"
+  "bench_ablation_cnt"
+  "bench_ablation_cnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

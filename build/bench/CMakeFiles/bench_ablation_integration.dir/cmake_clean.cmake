@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_integration.dir/bench_ablation_integration.cpp.o"
+  "CMakeFiles/bench_ablation_integration.dir/bench_ablation_integration.cpp.o.d"
+  "bench_ablation_integration"
+  "bench_ablation_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

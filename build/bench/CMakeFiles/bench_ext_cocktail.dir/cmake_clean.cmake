@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cocktail.dir/bench_ext_cocktail.cpp.o"
+  "CMakeFiles/bench_ext_cocktail.dir/bench_ext_cocktail.cpp.o.d"
+  "bench_ext_cocktail"
+  "bench_ext_cocktail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cocktail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

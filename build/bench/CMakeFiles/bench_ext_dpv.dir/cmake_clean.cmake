@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dpv.dir/bench_ext_dpv.cpp.o"
+  "CMakeFiles/bench_ext_dpv.dir/bench_ext_dpv.cpp.o.d"
+  "bench_ext_dpv"
+  "bench_ext_dpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

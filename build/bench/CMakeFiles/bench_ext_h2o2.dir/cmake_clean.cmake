@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_h2o2.dir/bench_ext_h2o2.cpp.o"
+  "CMakeFiles/bench_ext_h2o2.dir/bench_ext_h2o2.cpp.o.d"
+  "bench_ext_h2o2"
+  "bench_ext_h2o2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_h2o2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_system.dir/bench_ext_system.cpp.o"
+  "CMakeFiles/bench_ext_system.dir/bench_ext_system.cpp.o.d"
+  "bench_ext_system"
+  "bench_ext_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

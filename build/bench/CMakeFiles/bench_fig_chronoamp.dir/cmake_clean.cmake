@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_chronoamp.dir/bench_fig_chronoamp.cpp.o"
+  "CMakeFiles/bench_fig_chronoamp.dir/bench_fig_chronoamp.cpp.o.d"
+  "bench_fig_chronoamp"
+  "bench_fig_chronoamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_chronoamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig_classification.cpp" "bench/CMakeFiles/bench_fig_classification.dir/bench_fig_classification.cpp.o" "gcc" "bench/CMakeFiles/bench_fig_classification.dir/bench_fig_classification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/biosens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/biosens_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/readout/CMakeFiles/biosens_readout.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/biosens_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrochem/CMakeFiles/biosens_electrochem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/biosens_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrode/CMakeFiles/biosens_electrode.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/biosens_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/biosens_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

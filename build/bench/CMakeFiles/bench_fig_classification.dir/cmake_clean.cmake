@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_classification.dir/bench_fig_classification.cpp.o"
+  "CMakeFiles/bench_fig_classification.dir/bench_fig_classification.cpp.o.d"
+  "bench_fig_classification"
+  "bench_fig_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_voltammogram.dir/bench_fig_voltammogram.cpp.o"
+  "CMakeFiles/bench_fig_voltammogram.dir/bench_fig_voltammogram.cpp.o.d"
+  "bench_fig_voltammogram"
+  "bench_fig_voltammogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_voltammogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

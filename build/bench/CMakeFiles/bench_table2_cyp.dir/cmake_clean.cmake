@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cyp.dir/bench_table2_cyp.cpp.o"
+  "CMakeFiles/bench_table2_cyp.dir/bench_table2_cyp.cpp.o.d"
+  "bench_table2_cyp"
+  "bench_table2_cyp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cyp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_glucose.dir/bench_table2_glucose.cpp.o"
+  "CMakeFiles/bench_table2_glucose.dir/bench_table2_glucose.cpp.o.d"
+  "bench_table2_glucose"
+  "bench_table2_glucose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_glucose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

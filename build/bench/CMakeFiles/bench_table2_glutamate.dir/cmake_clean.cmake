@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_glutamate.dir/bench_table2_glutamate.cpp.o"
+  "CMakeFiles/bench_table2_glutamate.dir/bench_table2_glutamate.cpp.o.d"
+  "bench_table2_glutamate"
+  "bench_table2_glutamate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_glutamate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

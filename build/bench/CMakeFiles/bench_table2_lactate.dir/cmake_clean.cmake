@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lactate.dir/bench_table2_lactate.cpp.o"
+  "CMakeFiles/bench_table2_lactate.dir/bench_table2_lactate.cpp.o.d"
+  "bench_table2_lactate"
+  "bench_table2_lactate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lactate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_culture.dir/cell_culture.cpp.o"
+  "CMakeFiles/cell_culture.dir/cell_culture.cpp.o.d"
+  "cell_culture"
+  "cell_culture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_culture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

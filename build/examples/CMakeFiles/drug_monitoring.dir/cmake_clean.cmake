@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drug_monitoring.dir/drug_monitoring.cpp.o"
+  "CMakeFiles/drug_monitoring.dir/drug_monitoring.cpp.o.d"
+  "drug_monitoring"
+  "drug_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drug_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immunoassay.dir/immunoassay.cpp.o"
+  "CMakeFiles/immunoassay.dir/immunoassay.cpp.o.d"
+  "immunoassay"
+  "immunoassay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immunoassay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for immunoassay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for immunoassay.
+# This may be replaced when dependencies are built.

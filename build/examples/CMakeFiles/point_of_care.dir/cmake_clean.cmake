@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_of_care.dir/point_of_care.cpp.o"
+  "CMakeFiles/point_of_care.dir/point_of_care.cpp.o.d"
+  "point_of_care"
+  "point_of_care.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_of_care.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

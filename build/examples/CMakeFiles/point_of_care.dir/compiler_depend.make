@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for point_of_care.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for point_of_care.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_analysis.dir/calibration.cpp.o"
+  "CMakeFiles/biosens_analysis.dir/calibration.cpp.o.d"
+  "CMakeFiles/biosens_analysis.dir/laviron.cpp.o"
+  "CMakeFiles/biosens_analysis.dir/laviron.cpp.o.d"
+  "CMakeFiles/biosens_analysis.dir/peaks.cpp.o"
+  "CMakeFiles/biosens_analysis.dir/peaks.cpp.o.d"
+  "libbiosens_analysis.a"
+  "libbiosens_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/environment.cpp" "src/chem/CMakeFiles/biosens_chem.dir/environment.cpp.o" "gcc" "src/chem/CMakeFiles/biosens_chem.dir/environment.cpp.o.d"
+  "/root/repo/src/chem/enzyme.cpp" "src/chem/CMakeFiles/biosens_chem.dir/enzyme.cpp.o" "gcc" "src/chem/CMakeFiles/biosens_chem.dir/enzyme.cpp.o.d"
+  "/root/repo/src/chem/kinetics.cpp" "src/chem/CMakeFiles/biosens_chem.dir/kinetics.cpp.o" "gcc" "src/chem/CMakeFiles/biosens_chem.dir/kinetics.cpp.o.d"
+  "/root/repo/src/chem/solution.cpp" "src/chem/CMakeFiles/biosens_chem.dir/solution.cpp.o" "gcc" "src/chem/CMakeFiles/biosens_chem.dir/solution.cpp.o.d"
+  "/root/repo/src/chem/species.cpp" "src/chem/CMakeFiles/biosens_chem.dir/species.cpp.o" "gcc" "src/chem/CMakeFiles/biosens_chem.dir/species.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosens_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_chem.dir/environment.cpp.o"
+  "CMakeFiles/biosens_chem.dir/environment.cpp.o.d"
+  "CMakeFiles/biosens_chem.dir/enzyme.cpp.o"
+  "CMakeFiles/biosens_chem.dir/enzyme.cpp.o.d"
+  "CMakeFiles/biosens_chem.dir/kinetics.cpp.o"
+  "CMakeFiles/biosens_chem.dir/kinetics.cpp.o.d"
+  "CMakeFiles/biosens_chem.dir/solution.cpp.o"
+  "CMakeFiles/biosens_chem.dir/solution.cpp.o.d"
+  "CMakeFiles/biosens_chem.dir/species.cpp.o"
+  "CMakeFiles/biosens_chem.dir/species.cpp.o.d"
+  "libbiosens_chem.a"
+  "libbiosens_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_classify.dir/survey.cpp.o"
+  "CMakeFiles/biosens_classify.dir/survey.cpp.o.d"
+  "CMakeFiles/biosens_classify.dir/taxonomy.cpp.o"
+  "CMakeFiles/biosens_classify.dir/taxonomy.cpp.o.d"
+  "libbiosens_classify.a"
+  "libbiosens_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_common.dir/math.cpp.o"
+  "CMakeFiles/biosens_common.dir/math.cpp.o.d"
+  "CMakeFiles/biosens_common.dir/regression.cpp.o"
+  "CMakeFiles/biosens_common.dir/regression.cpp.o.d"
+  "CMakeFiles/biosens_common.dir/rng.cpp.o"
+  "CMakeFiles/biosens_common.dir/rng.cpp.o.d"
+  "CMakeFiles/biosens_common.dir/stats.cpp.o"
+  "CMakeFiles/biosens_common.dir/stats.cpp.o.d"
+  "CMakeFiles/biosens_common.dir/table.cpp.o"
+  "CMakeFiles/biosens_common.dir/table.cpp.o.d"
+  "CMakeFiles/biosens_common.dir/units.cpp.o"
+  "CMakeFiles/biosens_common.dir/units.cpp.o.d"
+  "libbiosens_common.a"
+  "libbiosens_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/catalog.cpp" "src/core/CMakeFiles/biosens_core.dir/catalog.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/catalog.cpp.o.d"
+  "/root/repo/src/core/classification.cpp" "src/core/CMakeFiles/biosens_core.dir/classification.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/classification.cpp.o.d"
+  "/root/repo/src/core/deconvolution.cpp" "src/core/CMakeFiles/biosens_core.dir/deconvolution.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/deconvolution.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/core/CMakeFiles/biosens_core.dir/design.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/design.cpp.o.d"
+  "/root/repo/src/core/differential.cpp" "src/core/CMakeFiles/biosens_core.dir/differential.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/differential.cpp.o.d"
+  "/root/repo/src/core/integration.cpp" "src/core/CMakeFiles/biosens_core.dir/integration.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/integration.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/biosens_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/biosens_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/qc.cpp" "src/core/CMakeFiles/biosens_core.dir/qc.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/qc.cpp.o.d"
+  "/root/repo/src/core/sensor.cpp" "src/core/CMakeFiles/biosens_core.dir/sensor.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/sensor.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/biosens_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/biosens_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/stability.cpp.o.d"
+  "/root/repo/src/core/therapy.cpp" "src/core/CMakeFiles/biosens_core.dir/therapy.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/therapy.cpp.o.d"
+  "/root/repo/src/core/workloads.cpp" "src/core/CMakeFiles/biosens_core.dir/workloads.cpp.o" "gcc" "src/core/CMakeFiles/biosens_core.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/biosens_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/biosens_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrode/CMakeFiles/biosens_electrode.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrochem/CMakeFiles/biosens_electrochem.dir/DependInfo.cmake"
+  "/root/repo/build/src/readout/CMakeFiles/biosens_readout.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/biosens_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/biosens_classify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

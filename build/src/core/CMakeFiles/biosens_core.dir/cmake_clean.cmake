@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_core.dir/catalog.cpp.o"
+  "CMakeFiles/biosens_core.dir/catalog.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/classification.cpp.o"
+  "CMakeFiles/biosens_core.dir/classification.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/deconvolution.cpp.o"
+  "CMakeFiles/biosens_core.dir/deconvolution.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/design.cpp.o"
+  "CMakeFiles/biosens_core.dir/design.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/differential.cpp.o"
+  "CMakeFiles/biosens_core.dir/differential.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/integration.cpp.o"
+  "CMakeFiles/biosens_core.dir/integration.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/platform.cpp.o"
+  "CMakeFiles/biosens_core.dir/platform.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/protocol.cpp.o"
+  "CMakeFiles/biosens_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/qc.cpp.o"
+  "CMakeFiles/biosens_core.dir/qc.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/sensor.cpp.o"
+  "CMakeFiles/biosens_core.dir/sensor.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/spec.cpp.o"
+  "CMakeFiles/biosens_core.dir/spec.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/stability.cpp.o"
+  "CMakeFiles/biosens_core.dir/stability.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/therapy.cpp.o"
+  "CMakeFiles/biosens_core.dir/therapy.cpp.o.d"
+  "CMakeFiles/biosens_core.dir/workloads.cpp.o"
+  "CMakeFiles/biosens_core.dir/workloads.cpp.o.d"
+  "libbiosens_core.a"
+  "libbiosens_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/electrochem/cell.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/cell.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/cell.cpp.o.d"
+  "/root/repo/src/electrochem/chronoamperometry.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/chronoamperometry.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/chronoamperometry.cpp.o.d"
+  "/root/repo/src/electrochem/dpv.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/dpv.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/dpv.cpp.o.d"
+  "/root/repo/src/electrochem/electron_transfer.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/electron_transfer.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/electron_transfer.cpp.o.d"
+  "/root/repo/src/electrochem/impedance.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/impedance.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/impedance.cpp.o.d"
+  "/root/repo/src/electrochem/peroxide.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/peroxide.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/peroxide.cpp.o.d"
+  "/root/repo/src/electrochem/potentiometry.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/potentiometry.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/potentiometry.cpp.o.d"
+  "/root/repo/src/electrochem/voltammetry.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/voltammetry.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/voltammetry.cpp.o.d"
+  "/root/repo/src/electrochem/waveform.cpp" "src/electrochem/CMakeFiles/biosens_electrochem.dir/waveform.cpp.o" "gcc" "src/electrochem/CMakeFiles/biosens_electrochem.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/biosens_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/biosens_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrode/CMakeFiles/biosens_electrode.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

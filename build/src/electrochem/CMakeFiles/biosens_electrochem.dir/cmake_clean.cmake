@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_electrochem.dir/cell.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/cell.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/chronoamperometry.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/chronoamperometry.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/dpv.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/dpv.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/electron_transfer.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/electron_transfer.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/impedance.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/impedance.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/peroxide.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/peroxide.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/potentiometry.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/potentiometry.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/voltammetry.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/voltammetry.cpp.o.d"
+  "CMakeFiles/biosens_electrochem.dir/waveform.cpp.o"
+  "CMakeFiles/biosens_electrochem.dir/waveform.cpp.o.d"
+  "libbiosens_electrochem.a"
+  "libbiosens_electrochem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_electrochem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

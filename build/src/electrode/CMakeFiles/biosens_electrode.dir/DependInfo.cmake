@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/electrode/assembly.cpp" "src/electrode/CMakeFiles/biosens_electrode.dir/assembly.cpp.o" "gcc" "src/electrode/CMakeFiles/biosens_electrode.dir/assembly.cpp.o.d"
+  "/root/repo/src/electrode/geometry.cpp" "src/electrode/CMakeFiles/biosens_electrode.dir/geometry.cpp.o" "gcc" "src/electrode/CMakeFiles/biosens_electrode.dir/geometry.cpp.o.d"
+  "/root/repo/src/electrode/immobilization.cpp" "src/electrode/CMakeFiles/biosens_electrode.dir/immobilization.cpp.o" "gcc" "src/electrode/CMakeFiles/biosens_electrode.dir/immobilization.cpp.o.d"
+  "/root/repo/src/electrode/modification.cpp" "src/electrode/CMakeFiles/biosens_electrode.dir/modification.cpp.o" "gcc" "src/electrode/CMakeFiles/biosens_electrode.dir/modification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/biosens_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_electrode.dir/assembly.cpp.o"
+  "CMakeFiles/biosens_electrode.dir/assembly.cpp.o.d"
+  "CMakeFiles/biosens_electrode.dir/geometry.cpp.o"
+  "CMakeFiles/biosens_electrode.dir/geometry.cpp.o.d"
+  "CMakeFiles/biosens_electrode.dir/immobilization.cpp.o"
+  "CMakeFiles/biosens_electrode.dir/immobilization.cpp.o.d"
+  "CMakeFiles/biosens_electrode.dir/modification.cpp.o"
+  "CMakeFiles/biosens_electrode.dir/modification.cpp.o.d"
+  "libbiosens_electrode.a"
+  "libbiosens_electrode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_electrode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/readout/adc.cpp" "src/readout/CMakeFiles/biosens_readout.dir/adc.cpp.o" "gcc" "src/readout/CMakeFiles/biosens_readout.dir/adc.cpp.o.d"
+  "/root/repo/src/readout/chain.cpp" "src/readout/CMakeFiles/biosens_readout.dir/chain.cpp.o" "gcc" "src/readout/CMakeFiles/biosens_readout.dir/chain.cpp.o.d"
+  "/root/repo/src/readout/filter.cpp" "src/readout/CMakeFiles/biosens_readout.dir/filter.cpp.o" "gcc" "src/readout/CMakeFiles/biosens_readout.dir/filter.cpp.o.d"
+  "/root/repo/src/readout/noise.cpp" "src/readout/CMakeFiles/biosens_readout.dir/noise.cpp.o" "gcc" "src/readout/CMakeFiles/biosens_readout.dir/noise.cpp.o.d"
+  "/root/repo/src/readout/tia.cpp" "src/readout/CMakeFiles/biosens_readout.dir/tia.cpp.o" "gcc" "src/readout/CMakeFiles/biosens_readout.dir/tia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/biosens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrochem/CMakeFiles/biosens_electrochem.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/biosens_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/electrode/CMakeFiles/biosens_electrode.dir/DependInfo.cmake"
+  "/root/repo/build/src/chem/CMakeFiles/biosens_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_readout.dir/adc.cpp.o"
+  "CMakeFiles/biosens_readout.dir/adc.cpp.o.d"
+  "CMakeFiles/biosens_readout.dir/chain.cpp.o"
+  "CMakeFiles/biosens_readout.dir/chain.cpp.o.d"
+  "CMakeFiles/biosens_readout.dir/filter.cpp.o"
+  "CMakeFiles/biosens_readout.dir/filter.cpp.o.d"
+  "CMakeFiles/biosens_readout.dir/noise.cpp.o"
+  "CMakeFiles/biosens_readout.dir/noise.cpp.o.d"
+  "CMakeFiles/biosens_readout.dir/tia.cpp.o"
+  "CMakeFiles/biosens_readout.dir/tia.cpp.o.d"
+  "libbiosens_readout.a"
+  "libbiosens_readout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbiosens_readout.a"
+)

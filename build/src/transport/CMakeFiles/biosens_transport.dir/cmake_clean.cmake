@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biosens_transport.dir/analytic.cpp.o"
+  "CMakeFiles/biosens_transport.dir/analytic.cpp.o.d"
+  "CMakeFiles/biosens_transport.dir/diffusion.cpp.o"
+  "CMakeFiles/biosens_transport.dir/diffusion.cpp.o.d"
+  "libbiosens_transport.a"
+  "libbiosens_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biosens_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_calibration.dir/test_calibration.cpp.o"
+  "CMakeFiles/test_calibration.dir/test_calibration.cpp.o.d"
+  "test_calibration"
+  "test_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

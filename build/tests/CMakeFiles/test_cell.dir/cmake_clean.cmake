@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell.dir/test_cell.cpp.o"
+  "CMakeFiles/test_cell.dir/test_cell.cpp.o.d"
+  "test_cell"
+  "test_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

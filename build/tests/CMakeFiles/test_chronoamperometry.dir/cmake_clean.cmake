@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chronoamperometry.dir/test_chronoamperometry.cpp.o"
+  "CMakeFiles/test_chronoamperometry.dir/test_chronoamperometry.cpp.o.d"
+  "test_chronoamperometry"
+  "test_chronoamperometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chronoamperometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classification.dir/test_classification.cpp.o"
+  "CMakeFiles/test_classification.dir/test_classification.cpp.o.d"
+  "test_classification"
+  "test_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deconvolution.dir/test_deconvolution.cpp.o"
+  "CMakeFiles/test_deconvolution.dir/test_deconvolution.cpp.o.d"
+  "test_deconvolution"
+  "test_deconvolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deconvolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

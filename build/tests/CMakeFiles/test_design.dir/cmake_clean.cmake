@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design.dir/test_design.cpp.o"
+  "CMakeFiles/test_design.dir/test_design.cpp.o.d"
+  "test_design"
+  "test_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffusion.dir/test_diffusion.cpp.o"
+  "CMakeFiles/test_diffusion.dir/test_diffusion.cpp.o.d"
+  "test_diffusion"
+  "test_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

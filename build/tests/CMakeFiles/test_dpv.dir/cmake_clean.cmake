@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpv.dir/test_dpv.cpp.o"
+  "CMakeFiles/test_dpv.dir/test_dpv.cpp.o.d"
+  "test_dpv"
+  "test_dpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

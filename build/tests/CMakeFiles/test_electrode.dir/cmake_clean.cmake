@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electrode.dir/test_electrode.cpp.o"
+  "CMakeFiles/test_electrode.dir/test_electrode.cpp.o.d"
+  "test_electrode"
+  "test_electrode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electrode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

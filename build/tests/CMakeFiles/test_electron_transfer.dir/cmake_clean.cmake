@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_electron_transfer.dir/test_electron_transfer.cpp.o"
+  "CMakeFiles/test_electron_transfer.dir/test_electron_transfer.cpp.o.d"
+  "test_electron_transfer"
+  "test_electron_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_electron_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environment.dir/test_environment.cpp.o"
+  "CMakeFiles/test_environment.dir/test_environment.cpp.o.d"
+  "test_environment"
+  "test_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enzyme.dir/test_enzyme.cpp.o"
+  "CMakeFiles/test_enzyme.dir/test_enzyme.cpp.o.d"
+  "test_enzyme"
+  "test_enzyme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enzyme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

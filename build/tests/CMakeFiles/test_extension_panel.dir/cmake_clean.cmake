@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extension_panel.dir/test_extension_panel.cpp.o"
+  "CMakeFiles/test_extension_panel.dir/test_extension_panel.cpp.o.d"
+  "test_extension_panel"
+  "test_extension_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extension_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_impedance.dir/test_impedance.cpp.o"
+  "CMakeFiles/test_impedance.dir/test_impedance.cpp.o.d"
+  "test_impedance"
+  "test_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interference.dir/test_interference.cpp.o"
+  "CMakeFiles/test_interference.dir/test_interference.cpp.o.d"
+  "test_interference"
+  "test_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kinetics.dir/test_kinetics.cpp.o"
+  "CMakeFiles/test_kinetics.dir/test_kinetics.cpp.o.d"
+  "test_kinetics"
+  "test_kinetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kinetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

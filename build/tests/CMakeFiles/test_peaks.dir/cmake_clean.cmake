@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peaks.dir/test_peaks.cpp.o"
+  "CMakeFiles/test_peaks.dir/test_peaks.cpp.o.d"
+  "test_peaks"
+  "test_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peroxide.dir/test_peroxide.cpp.o"
+  "CMakeFiles/test_peroxide.dir/test_peroxide.cpp.o.d"
+  "test_peroxide"
+  "test_peroxide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peroxide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

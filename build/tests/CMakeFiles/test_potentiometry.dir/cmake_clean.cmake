@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_potentiometry.dir/test_potentiometry.cpp.o"
+  "CMakeFiles/test_potentiometry.dir/test_potentiometry.cpp.o.d"
+  "test_potentiometry"
+  "test_potentiometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_potentiometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

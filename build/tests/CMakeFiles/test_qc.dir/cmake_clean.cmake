@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qc.dir/test_qc.cpp.o"
+  "CMakeFiles/test_qc.dir/test_qc.cpp.o.d"
+  "test_qc"
+  "test_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readout.dir/test_readout.cpp.o"
+  "CMakeFiles/test_readout.dir/test_readout.cpp.o.d"
+  "test_readout"
+  "test_readout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regression.dir/test_regression.cpp.o"
+  "CMakeFiles/test_regression.dir/test_regression.cpp.o.d"
+  "test_regression"
+  "test_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensor.dir/test_sensor.cpp.o"
+  "CMakeFiles/test_sensor.dir/test_sensor.cpp.o.d"
+  "test_sensor"
+  "test_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

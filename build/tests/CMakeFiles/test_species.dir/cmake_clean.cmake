@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_species.dir/test_species.cpp.o"
+  "CMakeFiles/test_species.dir/test_species.cpp.o.d"
+  "test_species"
+  "test_species.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_species.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_therapy.dir/test_therapy.cpp.o"
+  "CMakeFiles/test_therapy.dir/test_therapy.cpp.o.d"
+  "test_therapy"
+  "test_therapy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_therapy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

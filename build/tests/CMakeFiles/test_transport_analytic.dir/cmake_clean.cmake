@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_analytic.dir/test_transport_analytic.cpp.o"
+  "CMakeFiles/test_transport_analytic.dir/test_transport_analytic.cpp.o.d"
+  "test_transport_analytic"
+  "test_transport_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_transport_analytic.
+# This may be replaced when dependencies are built.

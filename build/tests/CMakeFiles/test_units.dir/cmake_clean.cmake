@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_units.dir/test_units.cpp.o"
+  "CMakeFiles/test_units.dir/test_units.cpp.o.d"
+  "test_units"
+  "test_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voltammetry.dir/test_voltammetry.cpp.o"
+  "CMakeFiles/test_voltammetry.dir/test_voltammetry.cpp.o.d"
+  "test_voltammetry"
+  "test_voltammetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voltammetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
