@@ -1,0 +1,244 @@
+// Engine throughput: jobs/sec of a patient-cohort panel workload,
+// serial reference vs 2/4/8 workers, with the determinism guarantee
+// asserted on every parallel run.
+//
+// The workload is the service scenario of the ROADMAP: a cohort of 240
+// virtual patients, each contributing one serum sample assayed on the
+// two-sensor glucose+CYP panel. Real assays are dominated by instrument
+// dwell (electrode hold + settling — hundreds of seconds per panel on
+// the physical device), which is exactly what a parallel scheduler
+// overlaps across instruments; the bench emulates that dwell at a
+// millisecond scale (hardware-in-the-loop emulation, EngineOptions::
+// dwell_scale), so the speedup measured here is the speedup of the
+// schedule, not of the arithmetic. Results are asserted byte-identical
+// between the serial reference and every parallel run (the engine's
+// seed-derivation contract, docs/determinism.md); the bench exits
+// nonzero on any divergence.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+
+namespace {
+
+using namespace biosens;
+
+constexpr std::size_t kPatients = 240;
+constexpr std::uint64_t kBatchSeed = 2012;
+
+core::Platform make_panel() {
+  // Point-of-care acquisition settings: coarser simulation resolution
+  // (the real instrument's 10 Hz sampling, not the lab-grade default),
+  // so each panel's arithmetic is cheap and the *schedule* — overlapping
+  // instrument dwell across jobs — is what this bench measures.
+  core::MeasurementOptions poc;
+  poc.chrono.duration = Time::seconds(10.0);
+  poc.chrono.dt = Time::milliseconds(100.0);
+  poc.chrono.grid_nodes = 40;
+  poc.voltammetry.points_per_sweep = 150;
+  poc.smoothing_window = 3;
+
+  core::Platform p;
+  p.add_sensor(core::entry_or_throw("MWCNT/Nafion + GOD (this work)"), poc);
+  p.add_sensor(core::entry_or_throw("MWCNT + CYP (cyclophosphamide)"), poc);
+  return p;
+}
+
+core::ProtocolOptions quick_options() {
+  core::ProtocolOptions o;
+  o.blank_repeats = 8;
+  o.replicates = 1;
+  return o;
+}
+
+/// One serum sample per patient, spiked inside both sensors' ranges.
+std::vector<chem::Sample> cohort_samples(std::size_t patients) {
+  std::vector<chem::Sample> samples;
+  samples.reserve(patients);
+  Rng levels(424242);
+  for (std::size_t i = 0; i < patients; ++i) {
+    chem::Sample s = chem::blank_sample();
+    s.set("glucose", Concentration::milli_molar(levels.uniform(0.1, 0.9)));
+    s.set("cyclophosphamide",
+          Concentration::micro_molar(levels.uniform(20.0, 60.0)));
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+/// Bit-exact fingerprint of the batch results (%.17g round-trips IEEE
+/// doubles exactly).
+std::string fingerprint(const std::vector<core::PanelReport>& reports) {
+  std::string out;
+  char cell[64];
+  for (const core::PanelReport& report : reports) {
+    for (const core::AssayResult& r : report.results) {
+      std::snprintf(cell, sizeof(cell), "%.17g|%.17g|%d;", r.response_a,
+                    r.estimated.milli_molar(), r.qc.accepted ? 1 : 0);
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+struct RunResult {
+  std::size_t workers = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  double speedup = 1.0;
+  std::string fingerprint;
+};
+
+RunResult run_once(const core::Platform& platform,
+                   const std::vector<chem::Sample>& samples,
+                   std::size_t workers, double dwell_scale) {
+  engine::Engine eng(engine::EngineOptions{
+      .workers = workers, .queue_capacity = 64, .dwell_scale = dwell_scale});
+  core::PanelBatchOptions options;
+  options.seed = kBatchSeed;
+
+  const engine::Stopwatch watch;
+  const core::PanelBatchResult result =
+      platform.run_panel_batch(samples, eng, options);
+  RunResult run;
+  run.workers = workers;
+  run.wall_seconds = watch.elapsed_seconds();
+  run.jobs_per_second =
+      static_cast<double>(samples.size()) / run.wall_seconds;
+  run.fingerprint = fingerprint(result.reports);
+  return run;
+}
+
+std::string runs_json(const std::vector<RunResult>& runs,
+                      bool deterministic, double dwell_ms) {
+  std::string json = "{\n  \"patients\": " + std::to_string(kPatients) +
+                     ",\n  \"emulated_dwell_ms\": ";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", dwell_ms);
+  json += buffer;
+  json += ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "    {\"workers\": %zu, \"wall_s\": %.4f, "
+                  "\"jobs_per_sec\": %.2f, \"speedup\": %.2f}",
+                  runs[i].workers, runs[i].wall_seconds,
+                  runs[i].jobs_per_second, runs[i].speedup);
+    json += line;
+    json += (i + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n  \"deterministic\": ";
+  json += deterministic ? "true" : "false";
+  json += "\n}\n";
+  return json;
+}
+
+void register_timings(const core::Platform& platform,
+                      const std::vector<chem::Sample>& samples) {
+  static const core::Platform& plat = platform;
+  static const std::vector<chem::Sample>& smpl = samples;
+
+  benchmark::RegisterBenchmark("BM_SinglePanelAssay",
+                               [](benchmark::State& state) {
+                                 Rng rng(7);
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(
+                                       plat.assay(smpl[0], rng));
+                                 }
+                               });
+  benchmark::RegisterBenchmark("BM_RngChildDerivation",
+                               [](benchmark::State& state) {
+                                 const Rng root(1);
+                                 std::uint64_t i = 0;
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(
+                                       root.child(i++));
+                                 }
+                               });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  biosens::bench::print_banner(
+      "Engine throughput — parallel batch execution",
+      "240-patient panel-assay cohort: serial reference vs 2/4/8 workers");
+
+  const core::Platform platform = [] {
+    core::Platform p = make_panel();
+    Rng rng(2012);
+    p.calibrate_all(rng, quick_options());
+    return p;
+  }();
+  const std::vector<chem::Sample> samples = cohort_samples(kPatients);
+
+  // Calibrate the emulated instrument dwell to the measured compute cost
+  // so the schedule (not the arithmetic) dominates: dwell ~8x compute,
+  // clamped to [3, 15] ms of real sleep per panel.
+  double compute_s = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    Rng rng(7);
+    const engine::Stopwatch watch;
+    (void)platform.assay(samples[0], rng);
+    compute_s = std::min(compute_s, watch.elapsed_seconds());
+  }
+  const double dwell_target_s =
+      std::clamp(8.0 * compute_s, 3e-3, 15e-3);
+  const double dwell_scale =
+      dwell_target_s / platform.scheduled_panel_time().seconds();
+  std::printf(
+      "\nper-panel compute %.2f ms; emulated instrument dwell %.2f ms "
+      "(scheduled panel time %.0f s, dwell_scale %.2e)\n",
+      compute_s * 1e3, dwell_target_s * 1e3,
+      platform.scheduled_panel_time().seconds(), dwell_scale);
+
+  std::vector<RunResult> runs;
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    runs.push_back(run_once(platform, samples, workers, dwell_scale));
+    RunResult& run = runs.back();
+    run.speedup = runs.front().wall_seconds / run.wall_seconds;
+    std::printf("%s: %6.3f s wall, %7.1f jobs/s, speedup %.2fx\n",
+                workers == 0 ? "serial (inline)"
+                             : (std::to_string(workers) + " workers").c_str(),
+                run.wall_seconds, run.jobs_per_second, run.speedup);
+  }
+
+  // The determinism assert: every parallel run must reproduce the
+  // serial reference byte-for-byte.
+  bool deterministic = true;
+  for (const RunResult& run : runs) {
+    if (run.fingerprint != runs.front().fingerprint) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: %zu-worker results diverge "
+                   "from the serial reference\n",
+                   run.workers);
+    }
+  }
+  if (!deterministic) return 1;
+  std::printf("determinism: all runs byte-identical to the serial "
+              "reference (seed %llu)\n",
+              static_cast<unsigned long long>(kBatchSeed));
+
+  const double speedup_8 = runs.back().speedup;
+  std::printf("claim check: >= 3x at 8 workers ... %s (%.2fx)\n",
+              speedup_8 >= 3.0 ? "OK" : "MISS", speedup_8);
+
+  const std::string json = runs_json(runs, deterministic, dwell_target_s * 1e3);
+  std::printf("\n%s", json.c_str());
+  if (const char* dir = std::getenv("BIOSENS_EXPORT_DIR")) {
+    const std::string path = std::string(dir) + "/engine_throughput.json";
+    Table::write_file(path, json);
+    std::printf("(exported %s)\n", path.c_str());
+  }
+
+  register_timings(platform, samples);
+  return biosens::bench::run_timings(argc, argv);
+}

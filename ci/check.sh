@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI gate: Release build + full test suite, then a ThreadSanitizer build
+# of the concurrency-bearing tests to catch data races in the engine's
+# worker pool. Run from the repository root:
+#
+#   ci/check.sh            # everything
+#   ci/check.sh release    # Release + ctest only
+#   ci/check.sh tsan       # TSan engine tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+STAGE="${1:-all}"
+
+run_release() {
+  echo "=== [1/2] Release build + full test suite ==="
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "${JOBS}"
+  ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
+}
+
+run_tsan() {
+  echo "=== [2/2] ThreadSanitizer: engine tests ==="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBIOSENS_SANITIZE=thread
+  cmake --build build-tsan -j "${JOBS}" \
+    --target test_engine test_engine_determinism test_rng
+  # halt_on_error: any reported race fails CI immediately.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -R 'engine|rng' --output-on-failure
+}
+
+case "${STAGE}" in
+  release) run_release ;;
+  tsan)    run_tsan ;;
+  all)     run_release; run_tsan ;;
+  *) echo "usage: ci/check.sh [release|tsan|all]" >&2; exit 2 ;;
+esac
+echo "CI checks passed."

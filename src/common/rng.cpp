@@ -74,4 +74,18 @@ double Rng::normal(double mean, double stddev) {
 
 Rng Rng::split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
 
+Rng Rng::child(std::uint64_t index) const {
+  // Fold the full 256-bit state into one key, then mix the index in
+  // through a second SplitMix64 pass. Two different parents (or the same
+  // parent at two different points of its stream) therefore produce
+  // unrelated child families, and two indices of one parent produce
+  // unrelated streams — without advancing the parent.
+  std::uint64_t key = 0x8f1bbcdcbfa53e0bULL;
+  for (const std::uint64_t word : state_) {
+    key = SplitMix64(key ^ word).next();
+  }
+  SplitMix64 mixer(key ^ (index + 1) * 0x9e3779b97f4a7c15ULL);
+  return Rng(mixer.next());
+}
+
 }  // namespace biosens

@@ -56,7 +56,18 @@ class Rng {
 
   /// Splits off an independent generator; used to give each subsystem its
   /// own stream so adding draws in one place does not perturb another.
+  /// Consumes one draw of this generator.
   Rng split();
+
+  /// Derives the `index`-th child stream from the generator's *current*
+  /// state without consuming any of it. This is the engine's seed-
+  /// derivation primitive: a batch run gives job `i` the stream
+  /// `root.child(i)`, so every job's randomness is a pure function of
+  /// (root seed, job index) — independent of worker count, completion
+  /// order, and of how many draws any other job makes. Children with
+  /// distinct indices are statistically independent of each other and of
+  /// the parent; the same index always yields the same stream.
+  [[nodiscard]] Rng child(std::uint64_t index) const;
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -6,6 +6,13 @@
 
 namespace biosens::core {
 
+bool PanelBatchResult::all_accepted() const {
+  for (const engine::JobReport& j : jobs) {
+    if (!j.accepted) return false;
+  }
+  return true;
+}
+
 const AssayResult& PanelReport::for_target(std::string_view target) const {
   for (const AssayResult& r : results) {
     if (r.target == target) return r;
@@ -87,6 +94,78 @@ PanelReport Platform::assay(const chem::Sample& sample, Rng& rng) const {
   report.total_measurement_time = scheduled_panel_time();
   report.sample_volume_required = volume;
   return report;
+}
+
+PanelBatchResult Platform::run_panel_batch(
+    const std::vector<chem::Sample>& samples, engine::Engine& engine,
+    const PanelBatchOptions& options) const {
+  require<SpecError>(calibrated(), "calibrate_all() before run_panel_batch()");
+
+  PanelBatchResult result;
+  result.reports.resize(samples.size());
+  const Time panel_time = scheduled_panel_time();
+
+  std::vector<engine::JobSpec> jobs;
+  jobs.reserve(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    engine::JobSpec job;
+    job.name = "panel-" + std::to_string(i);
+    job.kind = engine::JobKind::kPanelAssay;
+    job.dwell = panel_time;
+    if (options.instruments > 0) {
+      job.affinity = i % options.instruments;
+    }
+    job.body = [this, &samples, &result, i](engine::JobContext& ctx) {
+      PanelReport report = assay(samples[i], ctx.rng);
+      bool accepted = true;
+      for (const AssayResult& r : report.results) {
+        accepted = accepted && r.qc.accepted;
+      }
+      result.reports[i] = std::move(report);
+      return accepted;
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  engine::BatchOptions batch;
+  batch.seed = options.seed;
+  batch.retry = options.retry;
+  result.jobs = engine.run(jobs, batch);
+  return result;
+}
+
+void Platform::calibrate_all_batch(engine::Engine& engine,
+                                   std::uint64_t seed,
+                                   const ProtocolOptions& options) {
+  calibrations_.assign(sensors_.size(), analysis::CalibrationResult{});
+  const CalibrationProtocol protocol(options);
+
+  std::vector<engine::JobSpec> jobs;
+  jobs.reserve(sensors_.size());
+  for (std::size_t i = 0; i < sensors_.size(); ++i) {
+    engine::JobSpec job;
+    job.name = "calibrate-" + sensors_[i].spec().name;
+    job.kind = engine::JobKind::kCalibrationSweep;
+    job.body = [this, &protocol, i](engine::JobContext& ctx) {
+      const std::vector<Concentration> series = standard_series(
+          entries_[i].published.range_low, entries_[i].published.range_high);
+      calibrations_[i] = protocol.run(sensors_[i], series, ctx.rng).result;
+      return true;
+    };
+    jobs.push_back(std::move(job));
+  }
+
+  engine::BatchOptions batch;
+  batch.seed = seed;
+  batch.retry = engine::no_retry();
+  try {
+    engine.run(jobs, batch);
+  } catch (...) {
+    // Leave the platform in a consistent "not calibrated" state rather
+    // than half-filled.
+    calibrations_.clear();
+    throw;
+  }
 }
 
 PanelReport Platform::assay_unmixed(const chem::Sample& sample,

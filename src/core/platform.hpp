@@ -21,6 +21,7 @@
 #include "core/protocol.hpp"
 #include "core/qc.hpp"
 #include "core/sensor.hpp"
+#include "engine/engine.hpp"
 
 namespace biosens::core {
 
@@ -45,6 +46,31 @@ struct PanelReport {
   [[nodiscard]] const AssayResult& for_target(std::string_view target) const;
 };
 
+/// Options of an engine-backed panel batch (see run_panel_batch).
+struct PanelBatchOptions {
+  /// Root seed; sample i is assayed with the stream child(i) (see
+  /// docs/determinism.md).
+  std::uint64_t seed = 2012;
+  /// Re-measurement policy for panels whose QC rejects any assay.
+  engine::RetryPolicy retry{};
+  /// Number of physical instruments the batch is spread over. Panels
+  /// mapped to the same instrument (sample index mod instruments) are
+  /// serialized — one chip's five electrodes share a counter/reference
+  /// and run one panel at a time. 0 = unlimited instruments (every
+  /// panel may run concurrently).
+  std::size_t instruments = 0;
+};
+
+/// Outcome of an engine-backed panel batch: the panel reports in sample
+/// order plus the engine's per-job execution records.
+struct PanelBatchResult {
+  std::vector<PanelReport> reports;
+  std::vector<engine::JobReport> jobs;
+
+  /// True when every panel's final attempt passed QC.
+  [[nodiscard]] bool all_accepted() const;
+};
+
 /// The multi-sensor instrument.
 class Platform {
  public:
@@ -64,6 +90,28 @@ class Platform {
   /// Measures every sensor against the sample and reports estimated
   /// concentrations. Requires calibrate_all() first.
   [[nodiscard]] PanelReport assay(const chem::Sample& sample, Rng& rng) const;
+
+  /// Assays a whole batch of samples on the engine — the service entry
+  /// point. One panel-assay job per sample; reports come back in sample
+  /// order. Deterministic under the engine contract: the result data
+  /// depends only on options.seed and the sample order, not on the
+  /// engine's worker count. Panels whose QC rejects any assay are
+  /// re-measured under options.retry (each attempt with its own derived
+  /// stream); the last attempt's report is returned either way.
+  /// Thread-safe: assay() mutates nothing. Requires calibrate_all().
+  [[nodiscard]] PanelBatchResult run_panel_batch(
+      const std::vector<chem::Sample>& samples, engine::Engine& engine,
+      const PanelBatchOptions& options = {}) const;
+
+  /// Calibrates every sensor as one engine batch (one calibration-sweep
+  /// job per sensor, sensor i on stream child(i)). The engine-native
+  /// counterpart of calibrate_all(): faster on a parallel engine, and
+  /// its results are identical for every worker count — but it is a
+  /// *different* (per-sensor-seeded) derivation than the serial shared-
+  /// rng calibrate_all(), so the two produce different (both valid)
+  /// calibrations. See docs/determinism.md.
+  void calibrate_all_batch(engine::Engine& engine, std::uint64_t seed,
+                           const ProtocolOptions& options = {});
 
   /// Like assay(), but additionally unmixes isoform cross-reactivity
   /// through the panel's cross-sensitivity matrix (characterized once,

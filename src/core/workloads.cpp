@@ -1,6 +1,7 @@
 #include "core/workloads.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -36,6 +37,46 @@ chem::Sample cocktail_sample(
   return sample;
 }
 
+namespace {
+
+/// In-window / total trough counts of one patient under fixed dosing.
+std::pair<std::size_t, std::size_t> fixed_dose_counts(
+    const PatientProfile& p, const PharmacokineticModel& population,
+    double dose_mg, std::size_t doses, Time interval,
+    double molar_mass_g_per_mol, Concentration low, Concentration high,
+    std::size_t titration_doses) {
+  const PharmacokineticModel pk(
+      Volume::liters(population.volume_of_distribution().liters() *
+                     p.volume_multiplier),
+      Time::seconds(std::log(2.0) /
+                    (population.elimination_rate().per_second() *
+                     p.clearance_multiplier)));
+  std::size_t in_window = 0, total = 0;
+  Concentration level;
+  for (std::size_t k = 0; k < doses; ++k) {
+    if (k >= titration_doses) {
+      ++total;
+      if (level >= low && level <= high) ++in_window;
+    }
+    level += pk.bolus_increment(dose_mg, molar_mass_g_per_mol);
+    level = pk.decay(level, interval);
+  }
+  return {in_window, total};
+}
+
+/// In-window / total trough counts of one monitored course.
+std::pair<std::size_t, std::size_t> monitored_counts(
+    const std::vector<TherapyEvent>& course, std::size_t titration_doses) {
+  std::size_t in_window = 0, total = 0;
+  for (std::size_t k = titration_doses; k < course.size(); ++k) {
+    ++total;
+    if (course[k].in_window) ++in_window;
+  }
+  return {in_window, total};
+}
+
+}  // namespace
+
 double cohort_fixed_dose_in_window(
     const std::vector<PatientProfile>& cohort,
     const PharmacokineticModel& population, double dose_mg,
@@ -47,21 +88,11 @@ double cohort_fixed_dose_in_window(
 
   std::size_t in_window = 0, total = 0;
   for (const PatientProfile& p : cohort) {
-    const PharmacokineticModel pk(
-        Volume::liters(population.volume_of_distribution().liters() *
-                       p.volume_multiplier),
-        Time::seconds(std::log(2.0) /
-                      (population.elimination_rate().per_second() *
-                       p.clearance_multiplier)));
-    Concentration level;
-    for (std::size_t k = 0; k < doses; ++k) {
-      if (k >= titration_doses) {
-        ++total;
-        if (level >= low && level <= high) ++in_window;
-      }
-      level += pk.bolus_increment(dose_mg, molar_mass_g_per_mol);
-      level = pk.decay(level, interval);
-    }
+    const auto [in, all] =
+        fixed_dose_counts(p, population, dose_mg, doses, interval,
+                          molar_mass_g_per_mol, low, high, titration_doses);
+    in_window += in;
+    total += all;
   }
   return static_cast<double>(in_window) / static_cast<double>(total);
 }
@@ -80,10 +111,85 @@ double cohort_monitored_in_window(
     const auto course =
         monitor.run_course(p, population, initial_dose_mg, doses, interval,
                            molar_mass_g_per_mol, rng);
-    for (std::size_t k = titration_doses; k < course.size(); ++k) {
-      ++total;
-      if (course[k].in_window) ++in_window;
-    }
+    const auto [in, all] = monitored_counts(course, titration_doses);
+    in_window += in;
+    total += all;
+  }
+  return static_cast<double>(in_window) / static_cast<double>(total);
+}
+
+double cohort_fixed_dose_in_window(
+    const std::vector<PatientProfile>& cohort,
+    const PharmacokineticModel& population, double dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    Concentration low, Concentration high, engine::Engine& engine,
+    std::size_t titration_doses) {
+  require<SpecError>(!cohort.empty(), "empty cohort");
+  require<SpecError>(doses > titration_doses,
+                     "course shorter than the titration phase");
+
+  std::vector<std::pair<std::size_t, std::size_t>> counts(cohort.size());
+  std::vector<engine::JobSpec> jobs;
+  jobs.reserve(cohort.size());
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    engine::JobSpec job;
+    job.name = cohort[i].id;
+    job.kind = engine::JobKind::kCohortSimulation;
+    job.body = [&, i](engine::JobContext&) {
+      counts[i] = fixed_dose_counts(cohort[i], population, dose_mg, doses,
+                                    interval, molar_mass_g_per_mol, low,
+                                    high, titration_doses);
+      return true;
+    };
+    jobs.push_back(std::move(job));
+  }
+  engine::BatchOptions batch;
+  batch.retry = engine::no_retry();
+  engine.run(jobs, batch);
+
+  std::size_t in_window = 0, total = 0;
+  for (const auto& [in, all] : counts) {
+    in_window += in;
+    total += all;
+  }
+  return static_cast<double>(in_window) / static_cast<double>(total);
+}
+
+double cohort_monitored_in_window(
+    const std::vector<PatientProfile>& cohort, const TherapyMonitor& monitor,
+    const PharmacokineticModel& population, double initial_dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    engine::Engine& engine, std::uint64_t seed,
+    std::size_t titration_doses) {
+  require<SpecError>(!cohort.empty(), "empty cohort");
+  require<SpecError>(doses > titration_doses,
+                     "course shorter than the titration phase");
+
+  std::vector<std::pair<std::size_t, std::size_t>> counts(cohort.size());
+  std::vector<engine::JobSpec> jobs;
+  jobs.reserve(cohort.size());
+  for (std::size_t i = 0; i < cohort.size(); ++i) {
+    engine::JobSpec job;
+    job.name = cohort[i].id;
+    job.kind = engine::JobKind::kCohortSimulation;
+    job.body = [&, i](engine::JobContext& ctx) {
+      const auto course = monitor.run_course(
+          cohort[i], population, initial_dose_mg, doses, interval,
+          molar_mass_g_per_mol, ctx.rng);
+      counts[i] = monitored_counts(course, titration_doses);
+      return true;
+    };
+    jobs.push_back(std::move(job));
+  }
+  engine::BatchOptions batch;
+  batch.seed = seed;
+  batch.retry = engine::no_retry();
+  engine.run(jobs, batch);
+
+  std::size_t in_window = 0, total = 0;
+  for (const auto& [in, all] : counts) {
+    in_window += in;
+    total += all;
   }
   return static_cast<double>(in_window) / static_cast<double>(total);
 }

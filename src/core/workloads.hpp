@@ -14,6 +14,7 @@
 #include "chem/solution.hpp"
 #include "common/rng.hpp"
 #include "core/therapy.hpp"
+#include "engine/engine.hpp"
 
 namespace biosens::core {
 
@@ -57,5 +58,28 @@ struct CocktailComponent {
     const PharmacokineticModel& population, double initial_dose_mg,
     std::size_t doses, Time interval, double molar_mass_g_per_mol,
     Rng& rng, std::size_t titration_doses = 3);
+
+/// Engine-backed overload: one cohort-simulation job per patient. The
+/// computation is deterministic (no randomness), so this returns exactly
+/// the serial helper's value — only faster on a parallel engine.
+[[nodiscard]] double cohort_fixed_dose_in_window(
+    const std::vector<PatientProfile>& cohort,
+    const PharmacokineticModel& population, double dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    Concentration low, Concentration high, engine::Engine& engine,
+    std::size_t titration_doses = 3);
+
+/// Engine-backed overload: one cohort-simulation job per patient, the
+/// patient at index i drawing measurement noise from the stream
+/// `Rng(seed).child(i)`. Identical for every engine worker count; note
+/// it is a *different* (per-patient-seeded) derivation than the legacy
+/// shared-rng serial helper above, so the two differ in the noise draws
+/// while agreeing statistically. See docs/determinism.md.
+[[nodiscard]] double cohort_monitored_in_window(
+    const std::vector<PatientProfile>& cohort, const TherapyMonitor& monitor,
+    const PharmacokineticModel& population, double initial_dose_mg,
+    std::size_t doses, Time interval, double molar_mass_g_per_mol,
+    engine::Engine& engine, std::uint64_t seed,
+    std::size_t titration_doses = 3);
 
 }  // namespace biosens::core

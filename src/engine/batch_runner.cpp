@@ -1,0 +1,155 @@
+#include "engine/batch_runner.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "engine/engine.hpp"
+
+namespace biosens::engine {
+namespace {
+
+/// Read-only map of affinity key -> instrument lock, built before any
+/// worker starts (so lookups during the run are unsynchronized reads).
+using AffinityLocks = std::map<std::size_t, std::unique_ptr<std::mutex>>;
+
+AffinityLocks build_affinity_locks(const std::vector<JobSpec>& jobs) {
+  AffinityLocks locks;
+  for (const JobSpec& job : jobs) {
+    if (job.affinity == kNoAffinity) continue;
+    auto& slot = locks[job.affinity];
+    if (!slot) slot = std::make_unique<std::mutex>();
+  }
+  return locks;
+}
+
+/// Runs every attempt of one job. Returns via `out`; never throws for a
+/// QC rejection (that is what retry/`accepted=false` express); any
+/// exception from the body is the caller's to capture.
+void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
+                 const Rng& root, const BatchOptions& options,
+                 std::mutex* instrument, JobReport& out) {
+  MetricsRegistry& metrics = engine.metrics();
+  out.index = index;
+  out.name = job.name;
+  out.kind = job.kind;
+
+  const Stopwatch job_watch;
+  const Rng job_rng = root.child(index);
+  bool accepted = false;
+  std::size_t attempts = 0;
+
+  for (std::size_t attempt = 0; attempt < options.retry.max_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      metrics.retries.increment();
+      const Time backoff = options.retry.backoff_before_attempt(attempt);
+      out.simulated_backoff += backoff;
+      metrics.add_backoff_seconds(backoff.seconds());
+    }
+
+    JobContext context{index, attempt, job_rng.child(attempt)};
+    const Stopwatch attempt_watch;
+    {
+      // Hold the physical instrument for the duration of the attempt:
+      // one chip measures one panel at a time (shared counter/reference).
+      std::unique_lock<std::mutex> hold;
+      if (instrument != nullptr) {
+        hold = std::unique_lock<std::mutex>(*instrument);
+      }
+      if (engine.dwell_scale() > 0.0 && job.dwell.seconds() > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            job.dwell.seconds() * engine.dwell_scale()));
+      }
+      accepted = job.body(context);
+    }
+    const double took = attempt_watch.elapsed_seconds();
+    ++attempts;
+    out.simulated_dwell += job.dwell;
+    metrics.attempts.increment();
+    metrics.attempt_latency.record(took);
+    metrics.add_busy_seconds(took);
+    if (accepted) break;
+  }
+
+  out.attempts = attempts;
+  out.accepted = accepted;
+  out.wall_seconds = job_watch.elapsed_seconds();
+  (accepted ? metrics.jobs_succeeded : metrics.jobs_failed).increment();
+}
+
+}  // namespace
+
+std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
+                                        const BatchOptions& options) {
+  options.retry.validate();
+  for (const JobSpec& job : jobs) {
+    require<SpecError>(static_cast<bool>(job.body),
+                       "batch job '" + job.name + "' has no body");
+  }
+
+  const std::size_t count = jobs.size();
+  std::vector<JobReport> reports(count);
+  if (count == 0) return reports;
+
+  std::vector<std::exception_ptr> errors(count);
+  const AffinityLocks affinity_locks = build_affinity_locks(jobs);
+  const Rng root(options.seed);
+  MetricsRegistry& metrics = engine_.metrics();
+
+  auto execute = [&](std::size_t i) {
+    std::mutex* instrument = nullptr;
+    if (jobs[i].affinity != kNoAffinity) {
+      instrument = affinity_locks.at(jobs[i].affinity).get();
+    }
+    try {
+      run_one_job(engine_, jobs[i], i, root, options, instrument,
+                  reports[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  ThreadPool* pool = engine_.pool();
+  if (pool == nullptr) {
+    // Serial reference mode: same derivation, same order, same results.
+    for (std::size_t i = 0; i < count; ++i) {
+      metrics.jobs_submitted.increment();
+      execute(i);
+    }
+  } else {
+    std::mutex done_mutex;
+    std::condition_variable all_done;
+    std::size_t completed = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      metrics.jobs_submitted.increment();
+      // submit() blocks when the bounded queue is full — batch producers
+      // inherit the pool's backpressure instead of buffering everything.
+      pool->submit([&, i] {
+        execute(i);
+        // Notify under the lock: once `completed == count` the waiter may
+        // destroy the condvar, so the signal must happen-before that.
+        std::lock_guard<std::mutex> lock(done_mutex);
+        ++completed;
+        all_done.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    all_done.wait(lock, [&] { return completed == count; });
+  }
+
+  // Deterministic error propagation: the lowest-indexed failure wins,
+  // regardless of which worker hit it first.
+  for (std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return reports;
+}
+
+}  // namespace biosens::engine

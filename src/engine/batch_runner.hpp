@@ -1,0 +1,43 @@
+// Deterministic batch execution with retry, metrics, and affinity.
+//
+// The runner is where the engine's central guarantee lives: job i of a
+// batch draws from `Rng(seed).child(i).child(attempt)` and from nothing
+// else, so the numerical output of a batch is a pure function of
+// (seed, job order) — bit-identical whether it runs inline on the
+// caller's thread, on 2 workers, or on 8, and whatever order jobs
+// happen to finish in. See docs/determinism.md for the full contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "engine/retry.hpp"
+
+namespace biosens::engine {
+
+class Engine;
+
+struct BatchOptions {
+  /// Root seed of the batch; job i derives child(i).
+  std::uint64_t seed = 0x5eed5eed5eed5eedULL;
+  /// Re-measurement policy for QC-rejected attempts.
+  RetryPolicy retry{};
+};
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(Engine& engine) : engine_(engine) {}
+
+  /// Executes every job and returns per-job reports in input order.
+  /// Blocks until the whole batch has completed. A job body that throws
+  /// aborts the batch: all in-flight jobs finish, then the exception of
+  /// the lowest-indexed failing job is rethrown.
+  std::vector<JobReport> run(const std::vector<JobSpec>& jobs,
+                             const BatchOptions& options = {});
+
+ private:
+  Engine& engine_;
+};
+
+}  // namespace biosens::engine

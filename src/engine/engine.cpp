@@ -1,0 +1,30 @@
+#include "engine/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace biosens::engine {
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  require<SpecError>(options_.dwell_scale >= 0.0,
+                     "dwell_scale cannot be negative");
+  if (options_.workers > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.workers,
+                                         options_.queue_capacity);
+  }
+}
+
+std::vector<JobReport> Engine::run(const std::vector<JobSpec>& jobs,
+                                   const BatchOptions& options) {
+  return BatchRunner(*this).run(jobs, options);
+}
+
+MetricsSnapshot Engine::snapshot() const {
+  return metrics_.snapshot(window_.elapsed_seconds());
+}
+
+void Engine::reset_metrics() {
+  metrics_.reset();
+  window_ = Stopwatch();
+}
+
+}  // namespace biosens::engine

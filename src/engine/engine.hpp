@@ -1,0 +1,68 @@
+// Engine: the facade of the batch-execution subsystem.
+//
+// Owns the worker pool (or runs inline when workers == 0 — the serial
+// reference mode every parallel run must reproduce bit-for-bit) and the
+// shared metrics registry. Higher layers hand it batches of JobSpecs
+// directly or through the typed entry points in core/ (
+// Platform::run_panel_batch, Platform::calibrate_all_batch, the
+// engine-backed cohort helpers in core/workloads).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "engine/batch_runner.hpp"
+#include "engine/job.hpp"
+#include "engine/metrics.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace biosens::engine {
+
+struct EngineOptions {
+  /// Worker threads. 0 = run batches inline on the calling thread (the
+  /// serial reference execution).
+  std::size_t workers = 0;
+  /// Bounded task-queue capacity (backpressure threshold).
+  std::size_t queue_capacity = 128;
+  /// Hardware-in-the-loop emulation: fraction of each job's simulated
+  /// instrument dwell (JobSpec::dwell) that workers really sleep,
+  /// holding the instrument's affinity lock. 0 disables sleeping (pure
+  /// compute); a real deployment replaces the sleep with the actual
+  /// potentiostat hold. Affects timing only, never results.
+  double dwell_scale = 0.0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  /// Runs a batch to completion (delegates to BatchRunner).
+  std::vector<JobReport> run(const std::vector<JobSpec>& jobs,
+                             const BatchOptions& options = {});
+
+  [[nodiscard]] std::size_t worker_count() const {
+    return pool_ ? pool_->worker_count() : 0;
+  }
+  [[nodiscard]] double dwell_scale() const { return options_.dwell_scale; }
+
+  /// Null when the engine is serial (workers == 0).
+  [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Metrics frozen over the wall-clock window since construction or
+  /// the last reset_metrics().
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  void reset_metrics();
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  MetricsRegistry metrics_;
+  Stopwatch window_;
+};
+
+}  // namespace biosens::engine

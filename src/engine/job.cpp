@@ -1,0 +1,37 @@
+#include "engine/job.hpp"
+
+#include <cstdio>
+
+namespace biosens::engine {
+
+std::string_view to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kPanelAssay:
+      return "panel-assay";
+    case JobKind::kCohortSimulation:
+      return "cohort-simulation";
+    case JobKind::kCalibrationSweep:
+      return "calibration-sweep";
+    case JobKind::kCustom:
+      return "custom";
+  }
+  return "unknown";
+}
+
+Table jobs_table(const std::vector<JobReport>& reports) {
+  Table table({"index", "name", "kind", "attempts", "accepted",
+               "wall_seconds", "simulated_backoff_s"});
+  for (const JobReport& r : reports) {
+    char wall[32], backoff[32];
+    std::snprintf(wall, sizeof(wall), "%.6g", r.wall_seconds);
+    std::snprintf(backoff, sizeof(backoff), "%.6g",
+                  r.simulated_backoff.seconds());
+    table.add_row({std::to_string(r.index), r.name,
+                   std::string(to_string(r.kind)),
+                   std::to_string(r.attempts), r.accepted ? "yes" : "no",
+                   wall, backoff});
+  }
+  return table;
+}
+
+}  // namespace biosens::engine

@@ -1,0 +1,84 @@
+// Typed job descriptions for the batch engine.
+//
+// A job is one schedulable unit of simulated instrument work: a full
+// panel assay on one sample, one patient's simulated therapy course, one
+// sensor's calibration sweep. The engine itself is agnostic to what the
+// body computes; the kind tag, the instrument-affinity key, and the
+// dwell time carry the scheduling-relevant facts. core/ provides the
+// factories that wrap Platform and workload calls into JobSpecs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace biosens::engine {
+
+enum class JobKind {
+  kPanelAssay,        ///< multi-sensor assay of one sample
+  kCohortSimulation,  ///< one virtual patient's therapy course
+  kCalibrationSweep,  ///< one sensor's standard-series calibration
+  kCustom,
+};
+
+[[nodiscard]] std::string_view to_string(JobKind kind);
+
+/// Jobs with this affinity (the default) run fully concurrently.
+inline constexpr std::size_t kNoAffinity =
+    std::numeric_limits<std::size_t>::max();
+
+/// Execution context handed to a job body. The rng is the attempt's
+/// private deterministic stream: `root.child(job_index).child(attempt)`.
+/// Identical regardless of worker count or completion order.
+struct JobContext {
+  std::size_t index = 0;    ///< position of the job in its batch
+  std::size_t attempt = 0;  ///< 0-based measurement attempt
+  Rng rng;
+};
+
+/// One measurement attempt. Returns true when the result passes QC;
+/// false requests a re-measurement under the batch's retry policy.
+/// Exceptions abort the whole batch (they indicate misuse, not a bad
+/// measurement — see common/error.hpp).
+using JobBody = std::function<bool(JobContext&)>;
+
+/// A schedulable unit of work.
+struct JobSpec {
+  std::string name;
+  JobKind kind = JobKind::kCustom;
+  JobBody body;
+  /// Simulated instrument occupancy per attempt (electrode hold +
+  /// settling). When the engine emulates hardware (dwell_scale > 0) the
+  /// worker sleeps dwell * scale, modeling a measurement that holds a
+  /// channel while the CPU idles — the resource parallel scheduling
+  /// actually overlaps.
+  Time dwell = Time::seconds(0.0);
+  /// Jobs sharing an affinity key are serialized: they contend for one
+  /// physical instrument (the chip's five working electrodes share a
+  /// single counter/reference, so one chip runs one panel at a time).
+  std::size_t affinity = kNoAffinity;
+};
+
+/// Per-job execution record, in batch (input) order.
+struct JobReport {
+  std::size_t index = 0;
+  std::string name;
+  JobKind kind = JobKind::kCustom;
+  std::size_t attempts = 0;
+  bool accepted = false;  ///< final attempt passed QC
+  double wall_seconds = 0.0;  ///< real execution time across attempts
+  Time simulated_backoff = Time::seconds(0.0);
+  Time simulated_dwell = Time::seconds(0.0);
+};
+
+/// Summary table (one row per job) for printing or CSV export.
+[[nodiscard]] Table jobs_table(const std::vector<JobReport>& reports);
+
+}  // namespace biosens::engine

@@ -1,0 +1,159 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace biosens::engine {
+namespace {
+
+constexpr double kMinLatency = 1e-6;   // 1 us: bucket 0 upper edge
+constexpr double kDecades = 9.0;       // 1 us .. 1000 s
+constexpr double kNanosPerSecond = 1e9;
+
+std::uint64_t to_nanos(double seconds) {
+  return static_cast<std::uint64_t>(std::max(seconds, 0.0) *
+                                    kNanosPerSecond);
+}
+
+std::string format_seconds(double s) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", s);
+  return buffer;
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_edge(std::size_t b) {
+  // Log-spaced: edge(b) = 1us * 10^(9 * (b+1) / kBuckets).
+  return kMinLatency *
+         std::pow(10.0, kDecades * static_cast<double>(b + 1) /
+                            static_cast<double>(kBuckets));
+}
+
+void LatencyHistogram::record(double seconds) {
+  const double clamped = std::max(seconds, 0.0);
+  std::size_t b = 0;
+  if (clamped > kMinLatency) {
+    const double pos = std::log10(clamped / kMinLatency) *
+                       static_cast<double>(kBuckets) / kDecades;
+    b = std::min(static_cast<std::size_t>(std::max(pos, 0.0)),
+                 kBuckets - 1);
+    // pos sits in bucket floor(pos) whose upper edge is edge(floor(pos)).
+    if (clamped > bucket_edge(b) && b + 1 < kBuckets) ++b;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(to_nanos(clamped), std::memory_order_relaxed);
+  // max: CAS loop (rare after warm-up).
+  std::uint64_t nanos = to_nanos(clamped);
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerSecond;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  require<NumericsError>(q > 0.0 && q <= 1.0,
+                         "quantile requires q in (0, 1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_edge(b);
+  }
+  return bucket_edge(kBuckets - 1);
+}
+
+double LatencyHistogram::max_seconds() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerSecond;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+Table MetricsSnapshot::to_table() const {
+  Table table({"metric", "value"});
+  table.add_row({"jobs_submitted", std::to_string(jobs_submitted)});
+  table.add_row({"jobs_succeeded", std::to_string(jobs_succeeded)});
+  table.add_row({"jobs_failed", std::to_string(jobs_failed)});
+  table.add_row({"attempts", std::to_string(attempts)});
+  table.add_row({"retries", std::to_string(retries)});
+  table.add_row({"wall_seconds", format_seconds(wall_seconds)});
+  table.add_row({"busy_seconds", format_seconds(busy_seconds)});
+  table.add_row(
+      {"backoff_sim_seconds", format_seconds(backoff_sim_seconds)});
+  table.add_row({"attempt_p50_s", format_seconds(attempt_p50_s)});
+  table.add_row({"attempt_p95_s", format_seconds(attempt_p95_s)});
+  table.add_row({"attempt_p99_s", format_seconds(attempt_p99_s)});
+  table.add_row({"attempt_max_s", format_seconds(attempt_max_s)});
+  table.add_row({"jobs_per_second", format_seconds(jobs_per_second())});
+  table.add_row({"utilization", format_seconds(utilization())});
+  return table;
+}
+
+void MetricsRegistry::add_busy_seconds(double s) {
+  busy_nanos_.fetch_add(to_nanos(s), std::memory_order_relaxed);
+}
+
+void MetricsRegistry::add_backoff_seconds(double s) {
+  backoff_nanos_.fetch_add(to_nanos(s), std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
+  MetricsSnapshot s;
+  s.jobs_submitted = jobs_submitted.value();
+  s.jobs_succeeded = jobs_succeeded.value();
+  s.jobs_failed = jobs_failed.value();
+  s.attempts = attempts.value();
+  s.retries = retries.value();
+  s.wall_seconds = wall_seconds;
+  s.busy_seconds =
+      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) /
+      kNanosPerSecond;
+  s.backoff_sim_seconds =
+      static_cast<double>(backoff_nanos_.load(std::memory_order_relaxed)) /
+      kNanosPerSecond;
+  if (attempt_latency.count() > 0) {
+    // Bucket upper edges can overshoot the true extreme; the recorded
+    // max is exact, so clamp the quantiles to it.
+    const double max_s = attempt_latency.max_seconds();
+    s.attempt_p50_s = std::min(attempt_latency.quantile(0.50), max_s);
+    s.attempt_p95_s = std::min(attempt_latency.quantile(0.95), max_s);
+    s.attempt_p99_s = std::min(attempt_latency.quantile(0.99), max_s);
+    s.attempt_max_s = max_s;
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  jobs_submitted.reset();
+  jobs_succeeded.reset();
+  jobs_failed.reset();
+  attempts.reset();
+  retries.reset();
+  attempt_latency.reset();
+  busy_nanos_.store(0, std::memory_order_relaxed);
+  backoff_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace biosens::engine

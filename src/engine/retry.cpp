@@ -1,0 +1,44 @@
+#include "engine/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace biosens::engine {
+
+void RetryPolicy::validate() const {
+  require<SpecError>(max_attempts >= 1,
+                     "retry policy needs at least one attempt");
+  require<SpecError>(initial_backoff.seconds() >= 0.0,
+                     "retry backoff cannot be negative");
+  require<SpecError>(backoff_multiplier >= 1.0,
+                     "retry backoff multiplier must be >= 1");
+  require<SpecError>(max_backoff >= initial_backoff,
+                     "max_backoff below initial_backoff");
+}
+
+Time RetryPolicy::backoff_before_attempt(std::size_t attempt) const {
+  if (attempt == 0) return Time::seconds(0.0);
+  const double delay =
+      initial_backoff.seconds() *
+      std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  return Time::seconds(std::min(delay, max_backoff.seconds()));
+}
+
+Time RetryPolicy::total_backoff(std::size_t attempts) const {
+  double total = 0.0;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    total += backoff_before_attempt(a).seconds();
+  }
+  return Time::seconds(total);
+}
+
+RetryPolicy no_retry() {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.initial_backoff = Time::seconds(0.0);
+  return policy;
+}
+
+}  // namespace biosens::engine

@@ -1,0 +1,43 @@
+// Retry policy: re-measurement with exponential backoff in simulated time.
+//
+// A QC-rejected assay (fouled electrode, clipped amplifier, no response)
+// is not a crash — the instrument re-measures after letting the cell
+// re-equilibrate. The policy models that: up to max_attempts total
+// measurements, with an exponentially growing equilibration delay
+// between them. The delay is *simulated* time: it is accumulated into
+// the job report and the metrics (it would dominate a real instrument's
+// latency) but never slept, so batches run as fast as the CPU allows.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace biosens::engine {
+
+struct RetryPolicy {
+  /// Total measurement attempts, including the first (>= 1).
+  std::size_t max_attempts = 3;
+  /// Equilibration delay before the first re-measurement.
+  Time initial_backoff = Time::seconds(30.0);
+  /// Growth factor per further re-measurement (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Ceiling on a single delay.
+  Time max_backoff = Time::minutes(10.0);
+
+  /// Throws SpecError when the policy is malformed.
+  void validate() const;
+
+  /// Simulated delay before attempt `attempt` (0-based; attempt 0 is
+  /// the first measurement and has no delay).
+  [[nodiscard]] Time backoff_before_attempt(std::size_t attempt) const;
+
+  /// Total simulated delay accumulated by a job that ran
+  /// `attempts` measurements.
+  [[nodiscard]] Time total_backoff(std::size_t attempts) const;
+};
+
+/// A policy that never retries (one attempt, no delay).
+[[nodiscard]] RetryPolicy no_retry();
+
+}  // namespace biosens::engine

@@ -1,6 +1,7 @@
 // Deterministic RNG: reproducibility, distribution moments, splitting.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <vector>
 
 #include "common/error.hpp"
@@ -96,6 +97,74 @@ TEST(Rng, SplitStreamsAreIndependent) {
   for (int i = 0; i < 10000; ++i) cov += (a[i] - ma) * (b[i] - mb);
   cov /= 10000.0;
   EXPECT_NEAR(cov, 0.0, 0.003);
+}
+
+TEST(RngChild, SameIndexSameStream) {
+  const Rng parent(2012);
+  Rng a = parent.child(7);
+  Rng b = parent.child(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngChild, DoesNotConsumeParentState) {
+  Rng with_children(99), without(99);
+  (void)with_children.child(0);
+  (void)with_children.child(123456);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(with_children.next_u64(), without.next_u64());
+  }
+}
+
+TEST(RngChild, DistinctChildrenNeverOverlapIn10kDraws) {
+  // The engine's determinism contract hands job i the stream child(i);
+  // distinct jobs must not share any portion of their streams. With
+  // 10 children x 10k draws of 64-bit values, any overlap (identical
+  // value appearing in two streams) would be a 2^-64-scale accident —
+  // observing one indicates correlated streams.
+  const Rng root(0x5eed5eed5eed5eedULL);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t c = 0; c < 10; ++c) {
+    Rng child = root.child(c);
+    for (int i = 0; i < 10000; ++i) {
+      const auto [it, inserted] = seen.insert(child.next_u64());
+      ASSERT_TRUE(inserted)
+          << "streams of two children overlap (child " << c << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(RngChild, ChildrenAreStatisticallyIndependent) {
+  const Rng root(42);
+  Rng a = root.child(0);
+  Rng b = root.child(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 10000; ++i) {
+    xs.push_back(a.uniform());
+    ys.push_back(b.uniform());
+  }
+  double cov = 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  for (int i = 0; i < 10000; ++i) cov += (xs[i] - mx) * (ys[i] - my);
+  cov /= 10000.0;
+  EXPECT_NEAR(cov, 0.0, 0.003);
+}
+
+TEST(RngChild, AdvancedParentYieldsDifferentFamily) {
+  // child() derives from the current state: a parent that has advanced
+  // spawns a fresh, unrelated family (documented; derive children at a
+  // known point — usually a freshly seeded root — for reproducibility).
+  Rng parent(7);
+  Rng before = parent.child(0);
+  (void)parent.next_u64();
+  Rng after = parent.child(0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (before.next_u64() == after.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
 }
 
 TEST(SplitMix, KnownFirstOutputsAreStable) {
