@@ -14,15 +14,26 @@
 // between the serial reference and every parallel run (the engine's
 // seed-derivation contract, docs/determinism.md); the bench exits
 // nonzero on any divergence.
+//
+// A second, failure-heavy section measures the cost of the engine's two
+// failure paths on an all-failing custom batch: job bodies that *throw*
+// a legacy exception (caught once at the engine boundary and classified
+// via ErrorInfo::from_exception) vs bodies that return a structured
+// Expected error (the exception-free path, docs/errors.md), against an
+// all-success baseline.
 #include "bench_util.hpp"
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+#include "common/expected.hpp"
 #include "core/platform.hpp"
 #include "core/workloads.hpp"
+#include "engine/engine.hpp"
 
 namespace {
 
@@ -115,8 +126,86 @@ RunResult run_once(const core::Platform& platform,
   return run;
 }
 
+// --- Failure-path cost: throw/catch vs structured Expected errors. ---
+
+constexpr std::size_t kFailureJobs = 20000;
+
+enum class FailurePath { kSuccess, kExpectedError, kThrowCatch };
+
+const char* to_label(FailurePath path) {
+  switch (path) {
+    case FailurePath::kSuccess: return "success-baseline";
+    case FailurePath::kExpectedError: return "expected-error";
+    case FailurePath::kThrowCatch: return "throw-catch";
+  }
+  return "?";
+}
+
+/// An all-failing (or all-succeeding) batch of trivial custom jobs, so
+/// the measured wall clock is the engine's per-job failure machinery —
+/// not assay arithmetic. Both failure variants carry the same kNumerics
+/// taxonomy and run under no_retry(), so they execute identical attempt
+/// counts; only the reporting mechanism differs.
+std::vector<engine::JobSpec> failure_jobs(FailurePath path) {
+  std::vector<engine::JobSpec> jobs(kFailureJobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    engine::JobSpec& job = jobs[i];
+    job.name = "fail-" + std::to_string(i);
+    job.kind = engine::JobKind::kCustom;
+    switch (path) {
+      case FailurePath::kSuccess:
+        job.body = [](engine::JobContext&) { return true; };
+        break;
+      case FailurePath::kExpectedError:
+        job.body = [](engine::JobContext&) -> Expected<bool> {
+          return make_error(ErrorCode::kNumerics, Layer::kEngine,
+                            "failure bench", "transient noise burst");
+        };
+        break;
+      case FailurePath::kThrowCatch:
+        job.body = [](engine::JobContext&) -> Expected<bool> {
+          throw NumericsError("transient noise burst");
+        };
+        break;
+    }
+  }
+  return jobs;
+}
+
+struct FailureRun {
+  FailurePath path = FailurePath::kSuccess;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+};
+
+FailureRun run_failure_path(FailurePath path) {
+  const std::vector<engine::JobSpec> jobs = failure_jobs(path);
+  engine::Engine eng(engine::EngineOptions{.workers = 0});
+  engine::BatchOptions options;
+  options.retry = engine::no_retry();
+  FailureRun run;
+  run.path = path;
+  run.wall_seconds = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    const engine::Stopwatch watch;
+    const std::vector<engine::JobReport> reports = eng.run(jobs, options);
+    run.wall_seconds = std::min(run.wall_seconds, watch.elapsed_seconds());
+    // Sanity: the variant really exercised the path it claims to.
+    const bool failed = path != FailurePath::kSuccess;
+    if (reports.back().error.has_value() != failed) {
+      std::fprintf(stderr, "failure bench: unexpected report for %s\n",
+                   to_label(path));
+      std::exit(1);
+    }
+  }
+  run.jobs_per_second =
+      static_cast<double>(kFailureJobs) / run.wall_seconds;
+  return run;
+}
+
 std::string runs_json(const std::vector<RunResult>& runs,
-                      bool deterministic, double dwell_ms) {
+                      bool deterministic, double dwell_ms,
+                      const std::vector<FailureRun>& failure_runs) {
   std::string json = "{\n  \"patients\": " + std::to_string(kPatients) +
                      ",\n  \"emulated_dwell_ms\": ";
   char buffer[64];
@@ -135,7 +224,29 @@ std::string runs_json(const std::vector<RunResult>& runs,
   }
   json += "  ],\n  \"deterministic\": ";
   json += deterministic ? "true" : "false";
-  json += "\n}\n";
+  json += ",\n  \"failure_paths\": {\n    \"jobs\": " +
+          std::to_string(kFailureJobs) + ",\n    \"runs\": [\n";
+  for (std::size_t i = 0; i < failure_runs.size(); ++i) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "      {\"path\": \"%s\", \"wall_s\": %.4f, "
+                  "\"jobs_per_sec\": %.0f}",
+                  to_label(failure_runs[i].path),
+                  failure_runs[i].wall_seconds,
+                  failure_runs[i].jobs_per_second);
+    json += line;
+    json += (i + 1 < failure_runs.size()) ? ",\n" : "\n";
+  }
+  json += "    ]";
+  if (failure_runs.size() == 3) {
+    char line[96];
+    std::snprintf(line, sizeof(line),
+                  ",\n    \"throw_vs_expected_wall_ratio\": %.2f",
+                  failure_runs[2].wall_seconds /
+                      failure_runs[1].wall_seconds);
+    json += line;
+  }
+  json += "\n  }\n}\n";
   return json;
 }
 
@@ -231,7 +342,25 @@ int main(int argc, char** argv) {
   std::printf("claim check: >= 3x at 8 workers ... %s (%.2fx)\n",
               speedup_8 >= 3.0 ? "OK" : "MISS", speedup_8);
 
-  const std::string json = runs_json(runs, deterministic, dwell_target_s * 1e3);
+  // Failure-heavy variant: what a failed job costs under each reporting
+  // mechanism (same kNumerics taxonomy, no retry, inline execution).
+  std::printf("\nfailure-path cost (%zu all-failing custom jobs, inline, "
+              "no retry):\n",
+              kFailureJobs);
+  std::vector<FailureRun> failure_runs;
+  for (const FailurePath path : {FailurePath::kSuccess,
+                                 FailurePath::kExpectedError,
+                                 FailurePath::kThrowCatch}) {
+    failure_runs.push_back(run_failure_path(path));
+    const FailureRun& run = failure_runs.back();
+    std::printf("  %-17s %7.1f ms wall, %9.0f jobs/s\n", to_label(run.path),
+                run.wall_seconds * 1e3, run.jobs_per_second);
+  }
+  std::printf("  throw/catch costs %.2fx the Expected error path\n",
+              failure_runs[2].wall_seconds / failure_runs[1].wall_seconds);
+
+  const std::string json =
+      runs_json(runs, deterministic, dwell_target_s * 1e3, failure_runs);
   std::printf("\n%s", json.c_str());
   if (const char* dir = std::getenv("BIOSENS_EXPORT_DIR")) {
     const std::string path = std::string(dir) + "/engine_throughput.json";

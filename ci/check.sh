@@ -1,26 +1,50 @@
 #!/usr/bin/env bash
-# CI gate: Release build + full test suite, then a ThreadSanitizer build
-# of the concurrency-bearing tests to catch data races in the engine's
-# worker pool. Run from the repository root:
+# CI gate: exception-discipline lint, Release build + full test suite,
+# a ThreadSanitizer build of the concurrency-bearing tests to catch data
+# races in the engine's worker pool, and an UndefinedBehaviorSanitizer
+# build of the error-path tests. Run from the repository root:
 #
 #   ci/check.sh            # everything
+#   ci/check.sh lint       # throw-discipline lint only
 #   ci/check.sh release    # Release + ctest only
 #   ci/check.sh tsan       # TSan engine tests only
+#   ci/check.sh ubsan      # UBSan error-path tests only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 STAGE="${1:-all}"
 
+run_lint() {
+  echo "=== [1/4] Lint: no 'throw' outside the error/expected headers ==="
+  # The Expected<T> refactor confines throw statements to the public
+  # convenience boundary: common/error.hpp (require<>, the exception
+  # types) and common/expected.hpp (value_or_throw / ErrorInfo::raise).
+  # Everything else in src/ must report failure through Expected.
+  # Line comments are stripped before matching so prose may say "throw".
+  violations="$(grep -rn --include='*.hpp' --include='*.cpp' \
+      -E '\bthrow\b' src/ \
+    | grep -v '^src/common/error\.hpp:' \
+    | grep -v '^src/common/expected\.hpp:' \
+    | sed 's,//.*$,,' \
+    | grep -E '\bthrow\b' || true)"
+  if [ -n "${violations}" ]; then
+    echo "throw statement outside src/common/{error,expected}.hpp:" >&2
+    echo "${violations}" >&2
+    exit 1
+  fi
+  echo "lint: OK"
+}
+
 run_release() {
-  echo "=== [1/2] Release build + full test suite ==="
+  echo "=== [2/4] Release build + full test suite ==="
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci -j "${JOBS}"
   ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 }
 
 run_tsan() {
-  echo "=== [2/2] ThreadSanitizer: engine tests ==="
+  echo "=== [3/4] ThreadSanitizer: engine tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=thread
@@ -31,10 +55,24 @@ run_tsan() {
     ctest --test-dir build-tsan -R 'engine|rng' --output-on-failure
 }
 
+run_ubsan() {
+  echo "=== [4/4] UndefinedBehaviorSanitizer: error-path tests ==="
+  cmake -B build-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBIOSENS_SANITIZE=undefined
+  cmake --build build-ubsan -j "${JOBS}" \
+    --target test_expected test_engine test_trace
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir build-ubsan -R 'expected|engine$|trace' \
+    --output-on-failure
+}
+
 case "${STAGE}" in
+  lint)    run_lint ;;
   release) run_release ;;
   tsan)    run_tsan ;;
-  all)     run_release; run_tsan ;;
-  *) echo "usage: ci/check.sh [release|tsan|all]" >&2; exit 2 ;;
+  ubsan)   run_ubsan ;;
+  all)     run_lint; run_release; run_tsan; run_ubsan ;;
+  *) echo "usage: ci/check.sh [lint|release|tsan|ubsan|all]" >&2; exit 2 ;;
 esac
 echo "CI checks passed."

@@ -25,13 +25,23 @@ CalibrationEngine::CalibrationEngine(CalibrationOptions options)
 CalibrationResult CalibrationEngine::calibrate(
     std::span<const CalibrationPoint> points, double blank_sigma_a,
     Area electrode_area, double point_sigma_a) const {
-  require<AnalysisError>(points.size() >= options_.seed_points,
-                         "not enough calibration points");
-  require<AnalysisError>(blank_sigma_a >= 0.0,
-                         "blank sigma must be non-negative");
+  return try_calibrate(points, blank_sigma_a, electrode_area, point_sigma_a)
+      .value_or_throw();
+}
+
+Expected<CalibrationResult> CalibrationEngine::try_calibrate(
+    std::span<const CalibrationPoint> points, double blank_sigma_a,
+    Area electrode_area, double point_sigma_a) const {
+  BIOSENS_EXPECT(points.size() >= options_.seed_points, ErrorCode::kAnalysis,
+                 Layer::kAnalysis, "calibrate",
+                 "not enough calibration points");
+  BIOSENS_EXPECT(blank_sigma_a >= 0.0, ErrorCode::kAnalysis,
+                 Layer::kAnalysis, "calibrate",
+                 "blank sigma must be non-negative");
   if (point_sigma_a < 0.0) point_sigma_a = blank_sigma_a;
-  require<AnalysisError>(electrode_area.square_meters() > 0.0,
-                         "electrode area must be positive");
+  BIOSENS_EXPECT(electrode_area.square_meters() > 0.0, ErrorCode::kAnalysis,
+                 Layer::kAnalysis, "calibrate",
+                 "electrode area must be positive");
 
   std::vector<CalibrationPoint> sorted(points.begin(), points.end());
   std::sort(sorted.begin(), sorted.end(),
@@ -101,9 +111,10 @@ CalibrationResult CalibrationEngine::calibrate(
   result.linear_range_low = sorted.front().concentration;
   result.linear_range_high = sorted[used - 1].concentration;
 
-  require<AnalysisError>(fit.slope > 0.0,
-                         "calibration slope is not positive; sensor is not "
-                         "responding to the analyte");
+  BIOSENS_EXPECT(fit.slope > 0.0, ErrorCode::kAnalysis, Layer::kAnalysis,
+                 "calibrate",
+                 "calibration slope is not positive; sensor is not "
+                 "responding to the analyte");
   // Slope is A per mM; divide by area for the areal sensitivity.
   result.sensitivity = Sensitivity::canonical(
       fit.slope / electrode_area.square_meters());

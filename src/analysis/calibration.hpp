@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "common/regression.hpp"
 #include "common/units.hpp"
 
@@ -67,7 +68,15 @@ class CalibrationEngine {
   /// `point_sigma_a` is the noise of one calibration *point* (blank
   /// sigma divided by sqrt(replicates)); pass a negative value to
   /// default it to `blank_sigma_a`.
+  /// Throwing shim over try_calibrate().
   [[nodiscard]] CalibrationResult calibrate(
+      std::span<const CalibrationPoint> points, double blank_sigma_a,
+      Area electrode_area, double point_sigma_a = -1.0) const;
+
+  /// Expected-returning counterpart of calibrate(): too few points and a
+  /// non-responding sensor (non-positive slope) come back as analysis-
+  /// layer errors instead of exceptions.
+  [[nodiscard]] Expected<CalibrationResult> try_calibrate(
       std::span<const CalibrationPoint> points, double blank_sigma_a,
       Area electrode_area, double point_sigma_a = -1.0) const;
 

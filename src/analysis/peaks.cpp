@@ -18,17 +18,23 @@ struct Branch {
 };
 
 /// Splits the voltammogram into its two sweep branches.
-std::pair<Branch, Branch> split(const electrochem::Voltammogram& vg) {
-  require<AnalysisError>(vg.size() >= 8, "voltammogram too short");
-  require<AnalysisError>(
-      vg.turning_index > 2 && vg.turning_index < vg.size() - 2,
-      "voltammogram turning index out of range");
+Expected<std::pair<Branch, Branch>> try_split(
+    const electrochem::Voltammogram& vg) {
+  if (auto v = vg.try_validate(); !v) {
+    return ctx("split sweep",
+               Expected<std::pair<Branch, Branch>>(v.error()));
+  }
+  BIOSENS_EXPECT(vg.size() >= 8, ErrorCode::kAnalysis, Layer::kAnalysis,
+                 "split sweep", "voltammogram too short");
+  BIOSENS_EXPECT(vg.turning_index > 2 && vg.turning_index < vg.size() - 2,
+                 ErrorCode::kAnalysis, Layer::kAnalysis, "split sweep",
+                 "voltammogram turning index out of range");
   const std::size_t t = vg.turning_index;
   Branch first{std::span(vg.potential_v).subspan(0, t),
                std::span(vg.current_a).subspan(0, t), 0};
   Branch second{std::span(vg.potential_v).subspan(t),
                 std::span(vg.current_a).subspan(t), t};
-  return {first, second};
+  return std::pair<Branch, Branch>{first, second};
 }
 
 /// True when the branch sweeps toward negative potentials.
@@ -102,32 +108,56 @@ std::optional<Peak> extreme_peak(const Branch& b, double sign) {
   return p;
 }
 
-std::optional<Branch> branch_with_direction(
+/// Finds the branch sweeping in the requested direction; a structured
+/// error for a malformed voltammogram, nullopt when neither branch
+/// sweeps that way.
+Expected<std::optional<Branch>> try_branch_with_direction(
     const electrochem::Voltammogram& vg, bool cathodic) {
-  const auto [first, second] = split(vg);
-  if (is_cathodic(first) == cathodic) return first;
-  if (is_cathodic(second) == cathodic) return second;
-  return std::nullopt;
+  auto branches = try_split(vg);
+  if (!branches) return branches.error();
+  const auto& [first, second] = branches.value();
+  if (is_cathodic(first) == cathodic) return std::optional<Branch>(first);
+  if (is_cathodic(second) == cathodic) return std::optional<Branch>(second);
+  return std::optional<Branch>{};
 }
 
 }  // namespace
 
 std::optional<Peak> find_cathodic_peak(const electrochem::Voltammogram& vg) {
-  const auto branch = branch_with_direction(vg, /*cathodic=*/true);
-  if (!branch.has_value()) return std::nullopt;
-  return extreme_peak(*branch, -1.0);
+  return try_find_cathodic_peak(vg).value_or_throw();
+}
+
+Expected<std::optional<Peak>> try_find_cathodic_peak(
+    const electrochem::Voltammogram& vg) {
+  return try_branch_with_direction(vg, /*cathodic=*/true)
+      .map([](const std::optional<Branch>& branch) {
+        return branch.has_value() ? extreme_peak(*branch, -1.0)
+                                  : std::optional<Peak>{};
+      });
 }
 
 std::optional<Peak> find_anodic_peak(const electrochem::Voltammogram& vg) {
-  const auto branch = branch_with_direction(vg, /*cathodic=*/false);
-  if (!branch.has_value()) return std::nullopt;
-  return extreme_peak(*branch, +1.0);
+  return try_find_anodic_peak(vg).value_or_throw();
+}
+
+Expected<std::optional<Peak>> try_find_anodic_peak(
+    const electrochem::Voltammogram& vg) {
+  return try_branch_with_direction(vg, /*cathodic=*/false)
+      .map([](const std::optional<Branch>& branch) {
+        return branch.has_value() ? extreme_peak(*branch, +1.0)
+                                  : std::optional<Peak>{};
+      });
 }
 
 double hysteresis_area(const electrochem::Voltammogram& vg) {
+  return try_hysteresis_area(vg).value_or_throw();
+}
+
+Expected<double> try_hysteresis_area(const electrochem::Voltammogram& vg) {
   // Shoelace integral over the closed E-i loop.
   const std::size_t n = vg.size();
-  require<AnalysisError>(n >= 3, "voltammogram too short");
+  BIOSENS_EXPECT(n >= 3, ErrorCode::kAnalysis, Layer::kAnalysis,
+                 "hysteresis area", "voltammogram too short");
   double area = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t next = (k + 1) % n;

@@ -15,15 +15,26 @@ Concentration air_saturated_oxygen() {
 
 double raw_activity(const EnvironmentSensitivity& env, const Buffer& buffer,
                     Concentration dissolved_oxygen) {
-  require<SpecError>(env.ph_width > 0.0, "pH width must be positive");
-  require<SpecError>(env.activation_energy_kj_mol >= 0.0,
-                     "activation energy must be non-negative");
-  require<SpecError>(dissolved_oxygen.milli_molar() >= 0.0,
-                     "dissolved oxygen must be non-negative");
+  return try_raw_activity(env, buffer, dissolved_oxygen).value_or_throw();
+}
+
+Expected<double> try_raw_activity(const EnvironmentSensitivity& env,
+                                  const Buffer& buffer,
+                                  Concentration dissolved_oxygen) {
+  BIOSENS_EXPECT(env.ph_width > 0.0, ErrorCode::kSpec, Layer::kChem,
+                 "environment", "pH width must be positive");
+  BIOSENS_EXPECT(env.activation_energy_kj_mol >= 0.0, ErrorCode::kSpec,
+                 Layer::kChem, "environment",
+                 "activation energy must be non-negative");
+  BIOSENS_EXPECT(dissolved_oxygen.milli_molar() >= 0.0, ErrorCode::kSpec,
+                 Layer::kChem, "environment",
+                 "dissolved oxygen must be non-negative");
 
   double factor = 1.0;
 
-  // O2 co-substrate saturation (oxidases only).
+  // O2 co-substrate saturation (oxidases only). An anoxic sample is a
+  // legitimate physical state, not an error: the cycle simply stalls
+  // and the activity factor goes to zero.
   if (env.oxygen_km.milli_molar() > 0.0) {
     const double o2 = dissolved_oxygen.milli_molar();
     factor *= o2 / (env.oxygen_km.milli_molar() + o2);
@@ -35,7 +46,8 @@ double raw_activity(const EnvironmentSensitivity& env, const Buffer& buffer,
 
   // Arrhenius temperature response of the turnover.
   const double t = buffer.temperature.kelvin();
-  require<SpecError>(t > 0.0, "temperature must be positive");
+  BIOSENS_EXPECT(t > 0.0, ErrorCode::kSpec, Layer::kChem, "environment",
+                 "temperature must be positive");
   const double t_ref = constants::kRoomTemperatureK;
   const double ea = env.activation_energy_kj_mol * 1e3;  // J/mol
   factor *= std::exp(-ea / constants::kGasConstant *
@@ -46,11 +58,21 @@ double raw_activity(const EnvironmentSensitivity& env, const Buffer& buffer,
 double relative_activity(const EnvironmentSensitivity& env,
                          const Buffer& buffer,
                          Concentration dissolved_oxygen) {
-  const double reference =
-      raw_activity(env, reference_buffer(), air_saturated_oxygen());
-  require<NumericsError>(reference > 0.0,
-                         "reference activity must be positive");
-  return raw_activity(env, buffer, dissolved_oxygen) / reference;
+  return try_relative_activity(env, buffer, dissolved_oxygen)
+      .value_or_throw();
+}
+
+Expected<double> try_relative_activity(const EnvironmentSensitivity& env,
+                                       const Buffer& buffer,
+                                       Concentration dissolved_oxygen) {
+  auto reference =
+      try_raw_activity(env, reference_buffer(), air_saturated_oxygen());
+  if (!reference) return ctx("reference activity", std::move(reference));
+  BIOSENS_EXPECT(reference.value() > 0.0, ErrorCode::kNumerics, Layer::kChem,
+                 "environment", "reference activity must be positive");
+  const double ref = reference.value();
+  return try_raw_activity(env, buffer, dissolved_oxygen)
+      .map([ref](double raw) { return raw / ref; });
 }
 
 }  // namespace biosens::chem

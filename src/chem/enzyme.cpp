@@ -161,11 +161,16 @@ std::optional<Enzyme> find_enzyme(std::string_view name) {
   return std::nullopt;
 }
 
-const Enzyme& enzyme_or_throw(std::string_view name) {
+Expected<const Enzyme*> try_enzyme(std::string_view name) {
   for (const Enzyme& e : catalog()) {
-    if (e.name == name || e.abbreviation == name) return e;
+    if (e.name == name || e.abbreviation == name) return &e;
   }
-  throw SpecError("unknown enzyme: " + std::string(name));
+  return make_error(ErrorCode::kSpec, Layer::kChem, "enzyme lookup",
+                    "unknown enzyme: " + std::string(name));
+}
+
+const Enzyme& enzyme_or_throw(std::string_view name) {
+  return *try_enzyme(name).value_or_throw();
 }
 
 std::string_view to_string(EnzymeFamily family) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "chem/environment.hpp"
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::chem {
@@ -68,8 +69,11 @@ struct Enzyme {
 /// Looks up an enzyme by name or abbreviation.
 [[nodiscard]] std::optional<Enzyme> find_enzyme(std::string_view name);
 
-/// Looks up an enzyme by name or abbreviation, throwing SpecError when
-/// absent.
+/// Looks up an enzyme by name or abbreviation; a chem-layer spec error
+/// when absent.
+[[nodiscard]] Expected<const Enzyme*> try_enzyme(std::string_view name);
+
+/// Throwing shim over try_enzyme() (public convenience boundary).
 [[nodiscard]] const Enzyme& enzyme_or_throw(std::string_view name);
 
 /// Human-readable family name.

@@ -5,9 +5,15 @@
 namespace biosens::chem {
 
 MichaelisMenten::MichaelisMenten(Rate k_cat, Concentration k_m)
-    : k_cat_(k_cat), k_m_(k_m) {
-  require<SpecError>(k_cat.per_second() > 0.0, "k_cat must be positive");
-  require<SpecError>(k_m.milli_molar() > 0.0, "K_M must be positive");
+    : MichaelisMenten(try_create(k_cat, k_m).value_or_throw()) {}
+
+Expected<MichaelisMenten> MichaelisMenten::try_create(Rate k_cat,
+                                                      Concentration k_m) {
+  BIOSENS_EXPECT(k_cat.per_second() > 0.0, ErrorCode::kSpec, Layer::kChem,
+                 "kinetics", "k_cat must be positive");
+  BIOSENS_EXPECT(k_m.milli_molar() > 0.0, ErrorCode::kSpec, Layer::kChem,
+                 "kinetics", "K_M must be positive");
+  return MichaelisMenten(k_cat, k_m, Unchecked{});
 }
 
 double MichaelisMenten::turnover_per_second(Concentration substrate) const {
@@ -32,8 +38,14 @@ double MichaelisMenten::linearity_deviation(Concentration substrate) const {
 }
 
 Concentration MichaelisMenten::linear_limit(double max_deviation) const {
-  require<SpecError>(max_deviation > 0.0 && max_deviation < 1.0,
-                     "max_deviation must be in (0, 1)");
+  return try_linear_limit(max_deviation).value_or_throw();
+}
+
+Expected<Concentration> MichaelisMenten::try_linear_limit(
+    double max_deviation) const {
+  BIOSENS_EXPECT(max_deviation > 0.0 && max_deviation < 1.0,
+                 ErrorCode::kSpec, Layer::kChem, "linear_limit",
+                 "max_deviation must be in (0, 1)");
   return Concentration::milli_molar(max_deviation / (1.0 - max_deviation) *
                                     k_m_.milli_molar());
 }

@@ -6,6 +6,7 @@
 // end of the linear range.
 #pragma once
 
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::chem {
@@ -19,7 +20,14 @@ class MichaelisMenten {
  public:
   /// @param k_cat apparent turnover number of the immobilized enzyme
   /// @param k_m   apparent Michaelis constant
+  /// Throwing shim over try_create() (public convenience boundary).
   MichaelisMenten(Rate k_cat, Concentration k_m);
+
+  /// Validates the parameters and builds the rate law; a chem-layer
+  /// spec error when k_cat or K_M is non-positive (the degenerate-
+  /// enzyme case every simulator must refuse to run on).
+  [[nodiscard]] static Expected<MichaelisMenten> try_create(
+      Rate k_cat, Concentration k_m);
 
   /// Per-enzyme turnover rate v(S) = k_cat * S / (K_M + S)  [1/s].
   [[nodiscard]] double turnover_per_second(Concentration substrate) const;
@@ -39,12 +47,21 @@ class MichaelisMenten {
   /// Largest concentration whose deviation from linearity does not exceed
   /// `max_deviation` (e.g. 0.05 for the conventional 5% criterion):
   /// S* = max_deviation/(1-max_deviation) * K_M.
+  /// Throwing shim over try_linear_limit().
   [[nodiscard]] Concentration linear_limit(double max_deviation) const;
+
+  /// Expected-returning counterpart of linear_limit().
+  [[nodiscard]] Expected<Concentration> try_linear_limit(
+      double max_deviation) const;
 
   [[nodiscard]] Rate k_cat() const { return k_cat_; }
   [[nodiscard]] Concentration k_m() const { return k_m_; }
 
  private:
+  struct Unchecked {};
+  MichaelisMenten(Rate k_cat, Concentration k_m, Unchecked)
+      : k_cat_(k_cat), k_m_(k_m) {}
+
   Rate k_cat_;
   Concentration k_m_;
 };

@@ -52,6 +52,17 @@ std::vector<std::string> Sample::species_names() const {
   return names;
 }
 
+Expected<void> try_validate_species(const Sample& sample) {
+  for (const std::string& name : sample.species_names()) {
+    if (auto sp = try_species(name); !sp) {
+      ErrorInfo err = sp.error();
+      err.context.emplace_back("sample validation");
+      return err;
+    }
+  }
+  return ok();
+}
+
 Sample blank_sample() { return Sample(Buffer{}); }
 
 Sample calibration_sample(std::string_view species, Concentration c) {

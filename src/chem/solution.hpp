@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::chem {
@@ -76,6 +77,12 @@ class Sample {
 /// Builds a single-analyte calibration sample at concentration `c`.
 [[nodiscard]] Sample calibration_sample(std::string_view species,
                                         Concentration c);
+
+/// Checks every species name in the sample against the species registry;
+/// a chem-layer spec error naming the first unknown species. Measurement
+/// paths call this so a typo'd analyte surfaces as a structured error
+/// instead of silently reading zero concentration.
+[[nodiscard]] Expected<void> try_validate_species(const Sample& sample);
 
 /// Builds a serum-like sample carrying the standard interferent panel
 /// (ascorbic acid, uric acid, paracetamol at mid-physiological levels)

@@ -78,11 +78,16 @@ std::optional<Species> find_species(std::string_view name) {
   return std::nullopt;
 }
 
-const Species& species_or_throw(std::string_view name) {
+Expected<const Species*> try_species(std::string_view name) {
   for (const Species& s : registry()) {
-    if (s.name == name) return s;
+    if (s.name == name) return &s;
   }
-  throw SpecError("unknown species: " + std::string(name));
+  return make_error(ErrorCode::kSpec, Layer::kChem, "species lookup",
+                    "unknown species: " + std::string(name));
+}
+
+const Species& species_or_throw(std::string_view name) {
+  return *try_species(name).value_or_throw();
 }
 
 std::string_view to_string(SpeciesKind kind) {

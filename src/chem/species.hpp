@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::chem {
@@ -44,7 +45,10 @@ struct Species {
 /// Looks up a species by case-sensitive name.
 [[nodiscard]] std::optional<Species> find_species(std::string_view name);
 
-/// Looks up a species by name, throwing SpecError when absent.
+/// Looks up a species by name; a chem-layer spec error when absent.
+[[nodiscard]] Expected<const Species*> try_species(std::string_view name);
+
+/// Throwing shim over try_species() (public convenience boundary).
 [[nodiscard]] const Species& species_or_throw(std::string_view name);
 
 /// Human-readable kind name ("metabolite", "drug", ...).

@@ -1,8 +1,11 @@
 // Error taxonomy for the biosens library.
 //
-// The library reports unrecoverable misuse (invalid specs, inconsistent
-// units, numerics blowing up) via exceptions, per the C++ Core Guidelines
-// (E.2). Recoverable "no result" cases use std::optional instead.
+// Internal layers report failure as values (Expected<T> carrying an
+// ErrorInfo — see common/expected.hpp and docs/errors.md); the exception
+// classes below exist for the *public convenience boundary*: every
+// legacy throwing entry point is a thin shim over its try_* counterpart
+// via value_or_throw(), and ErrorInfo::raise() rematerializes the
+// matching class here. Recoverable "no result" cases use std::optional.
 #pragma once
 
 #include <stdexcept>

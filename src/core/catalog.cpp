@@ -234,7 +234,7 @@ std::vector<CatalogEntry> extension_entries() {
   return kCached;
 }
 
-CatalogEntry entry_or_throw(std::string_view name) {
+Expected<CatalogEntry> try_entry(std::string_view name) {
   // Two rows may share a label (the paper reuses "MWCNT/Nafion + GOD");
   // "name [citation]" and "name (this work)" disambiguate.
   std::vector<CatalogEntry> all = full_catalog();
@@ -247,7 +247,12 @@ CatalogEntry entry_or_throw(std::string_view name) {
       return std::move(e);
     }
   }
-  throw SpecError("no catalog entry named '" + std::string(name) + "'");
+  return make_error(ErrorCode::kSpec, Layer::kCore, "catalog lookup",
+                    "no catalog entry named '" + std::string(name) + "'");
+}
+
+CatalogEntry entry_or_throw(std::string_view name) {
+  return try_entry(name).value_or_throw();
 }
 
 }  // namespace biosens::core

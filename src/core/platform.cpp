@@ -1,6 +1,7 @@
 #include "core/platform.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -13,12 +14,25 @@ bool PanelBatchResult::all_accepted() const {
   return true;
 }
 
-const AssayResult& PanelReport::for_target(std::string_view target) const {
-  for (const AssayResult& r : results) {
-    if (r.target == target) return r;
+const ErrorInfo* PanelBatchResult::first_error() const {
+  for (const engine::JobReport& j : jobs) {
+    if (j.error.has_value()) return &*j.error;
   }
-  throw AnalysisError("panel has no result for target '" +
-                      std::string(target) + "'");
+  return nullptr;
+}
+
+Expected<const AssayResult*> PanelReport::try_for_target(
+    std::string_view target) const {
+  for (const AssayResult& r : results) {
+    if (r.target == target) return &r;
+  }
+  return make_error(ErrorCode::kAnalysis, Layer::kCore, "panel lookup",
+                    "panel has no result for target '" +
+                        std::string(target) + "'");
+}
+
+const AssayResult& PanelReport::for_target(std::string_view target) const {
+  return *try_for_target(target).value_or_throw();
 }
 
 std::size_t Platform::add_sensor(const CatalogEntry& entry,
@@ -51,19 +65,38 @@ const analysis::CalibrationResult& Platform::calibration(
 }
 
 void Platform::calibrate_all(Rng& rng, const ProtocolOptions& options) {
+  try_calibrate_all(rng, options).value_or_throw();
+}
+
+Expected<void> Platform::try_calibrate_all(Rng& rng,
+                                           const ProtocolOptions& options) {
   calibrations_.clear();
   calibrations_.reserve(sensors_.size());
   const CalibrationProtocol protocol(options);
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
     const std::vector<Concentration> series = standard_series(
         entries_[i].published.range_low, entries_[i].published.range_high);
-    calibrations_.push_back(
-        protocol.run(sensors_[i], series, rng).result);
+    auto outcome = protocol.try_run(sensors_[i], series, rng);
+    if (!outcome) {
+      // Leave the platform consistently "not calibrated", never
+      // half-filled.
+      calibrations_.clear();
+      return ctx("calibrate " + sensors_[i].spec().name,
+                 Expected<void>(outcome.error()));
+    }
+    calibrations_.push_back(std::move(outcome).value().result);
   }
+  return ok();
 }
 
 PanelReport Platform::assay(const chem::Sample& sample, Rng& rng) const {
-  require<SpecError>(calibrated(), "calibrate_all() before assay()");
+  return try_assay(sample, rng).value_or_throw();
+}
+
+Expected<PanelReport> Platform::try_assay(const chem::Sample& sample,
+                                          Rng& rng) const {
+  BIOSENS_EXPECT(calibrated(), ErrorCode::kSpec, Layer::kCore, "assay panel",
+                 "calibrate_all() before assay()");
 
   PanelReport report;
   report.results.reserve(sensors_.size());
@@ -76,7 +109,11 @@ PanelReport Platform::assay(const chem::Sample& sample, Rng& rng) const {
     AssayResult r;
     r.target = sensor.spec().target;
     r.sensor_name = sensor.spec().name;
-    r.response_a = sensor.measure(sample, rng).response_a;
+    auto measured = sensor.try_measure(sample, rng);
+    if (!measured) {
+      return ctx("assay panel", Expected<PanelReport>(measured.error()));
+    }
+    r.response_a = measured.value().response_a;
 
     // Invert the calibration line; clamp negatives (noise around blank).
     const double est_mm =
@@ -115,14 +152,17 @@ PanelBatchResult Platform::run_panel_batch(
     if (options.instruments > 0) {
       job.affinity = i % options.instruments;
     }
-    job.body = [this, &samples, &result, i](engine::JobContext& ctx) {
-      PanelReport report = assay(samples[i], ctx.rng);
+    job.body = [this, &samples, &result, i](engine::JobContext& jc) {
+      auto report = try_assay(samples[i], jc.rng);
+      if (!report) {
+        return ctx("panel batch", Expected<bool>(report.error()));
+      }
       bool accepted = true;
-      for (const AssayResult& r : report.results) {
+      for (const AssayResult& r : report.value().results) {
         accepted = accepted && r.qc.accepted;
       }
-      result.reports[i] = std::move(report);
-      return accepted;
+      result.reports[i] = std::move(report).value();
+      return Expected<bool>(accepted);
     };
     jobs.push_back(std::move(job));
   }
@@ -137,6 +177,12 @@ PanelBatchResult Platform::run_panel_batch(
 void Platform::calibrate_all_batch(engine::Engine& engine,
                                    std::uint64_t seed,
                                    const ProtocolOptions& options) {
+  try_calibrate_all_batch(engine, seed, options).value_or_throw();
+}
+
+Expected<void> Platform::try_calibrate_all_batch(
+    engine::Engine& engine, std::uint64_t seed,
+    const ProtocolOptions& options) {
   calibrations_.assign(sensors_.size(), analysis::CalibrationResult{});
   const CalibrationProtocol protocol(options);
 
@@ -146,11 +192,13 @@ void Platform::calibrate_all_batch(engine::Engine& engine,
     engine::JobSpec job;
     job.name = "calibrate-" + sensors_[i].spec().name;
     job.kind = engine::JobKind::kCalibrationSweep;
-    job.body = [this, &protocol, i](engine::JobContext& ctx) {
+    job.body = [this, &protocol, i](engine::JobContext& jc) {
       const std::vector<Concentration> series = standard_series(
           entries_[i].published.range_low, entries_[i].published.range_high);
-      calibrations_[i] = protocol.run(sensors_[i], series, ctx.rng).result;
-      return true;
+      auto outcome = protocol.try_run(sensors_[i], series, jc.rng);
+      if (!outcome) return Expected<bool>(outcome.error());
+      calibrations_[i] = std::move(outcome).value().result;
+      return Expected<bool>(true);
     };
     jobs.push_back(std::move(job));
   }
@@ -158,14 +206,17 @@ void Platform::calibrate_all_batch(engine::Engine& engine,
   engine::BatchOptions batch;
   batch.seed = seed;
   batch.retry = engine::no_retry();
-  try {
-    engine.run(jobs, batch);
-  } catch (...) {
-    // Leave the platform in a consistent "not calibrated" state rather
-    // than half-filled.
-    calibrations_.clear();
-    throw;
+  const std::vector<engine::JobReport> reports = engine.run(jobs, batch);
+  for (const engine::JobReport& r : reports) {
+    if (r.error.has_value()) {
+      // Leave the platform in a consistent "not calibrated" state rather
+      // than half-filled. The lowest-indexed failure wins regardless of
+      // which worker hit it first (reports are in input order).
+      calibrations_.clear();
+      return ctx("calibrate batch", Expected<void>(*r.error));
+    }
   }
+  return ok();
 }
 
 PanelReport Platform::assay_unmixed(const chem::Sample& sample,

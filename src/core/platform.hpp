@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "core/catalog.hpp"
 #include "core/deconvolution.hpp"
 #include "core/protocol.hpp"
@@ -42,7 +43,12 @@ struct PanelReport {
   Time total_measurement_time;  ///< wall time under the scheduler
   Volume sample_volume_required;
 
-  /// Result for a target; throws AnalysisError when absent.
+  /// Result for a target; a core-layer analysis error when absent.
+  [[nodiscard]] Expected<const AssayResult*> try_for_target(
+      std::string_view target) const;
+
+  /// Result for a target; throws AnalysisError when absent. Throwing
+  /// shim over try_for_target().
   [[nodiscard]] const AssayResult& for_target(std::string_view target) const;
 };
 
@@ -69,6 +75,10 @@ struct PanelBatchResult {
 
   /// True when every panel's final attempt passed QC.
   [[nodiscard]] bool all_accepted() const;
+
+  /// The structured error of the lowest-indexed failed job, or nullptr
+  /// when no job carries one (QC rejections without a fault included).
+  [[nodiscard]] const ErrorInfo* first_error() const;
 };
 
 /// The multi-sensor instrument.
@@ -84,12 +94,27 @@ class Platform {
   [[nodiscard]] static Platform paper_platform();
 
   /// Calibrates every sensor over its standard series; must run before
-  /// assay(). Deterministic given the rng.
+  /// assay(). Deterministic given the rng. Throwing shim over
+  /// try_calibrate_all().
   void calibrate_all(Rng& rng, const ProtocolOptions& options = {});
 
+  /// Expected-returning counterpart of calibrate_all(). On any sensor's
+  /// failure the platform is left consistently *not* calibrated and the
+  /// structured error names the offending sensor in its context chain.
+  Expected<void> try_calibrate_all(Rng& rng,
+                                   const ProtocolOptions& options = {});
+
   /// Measures every sensor against the sample and reports estimated
-  /// concentrations. Requires calibrate_all() first.
+  /// concentrations. Requires calibrate_all() first. Throwing shim over
+  /// try_assay().
   [[nodiscard]] PanelReport assay(const chem::Sample& sample, Rng& rng) const;
+
+  /// Expected-returning counterpart of assay(): a measurement failure on
+  /// any sensor surfaces as the structured error of the whole panel,
+  /// with an "assay panel" context frame — no exceptions cross the core
+  /// boundary.
+  [[nodiscard]] Expected<PanelReport> try_assay(const chem::Sample& sample,
+                                                Rng& rng) const;
 
   /// Assays a whole batch of samples on the engine — the service entry
   /// point. One panel-assay job per sample; reports come back in sample
@@ -109,9 +134,17 @@ class Platform {
   /// its results are identical for every worker count — but it is a
   /// *different* (per-sensor-seeded) derivation than the serial shared-
   /// rng calibrate_all(), so the two produce different (both valid)
-  /// calibrations. See docs/determinism.md.
+  /// calibrations. See docs/determinism.md. Throwing shim over
+  /// try_calibrate_all_batch().
   void calibrate_all_batch(engine::Engine& engine, std::uint64_t seed,
                            const ProtocolOptions& options = {});
+
+  /// Expected-returning counterpart of calibrate_all_batch(): scans the
+  /// engine's per-job reports and surfaces the lowest-indexed sensor's
+  /// structured error, leaving the platform consistently uncalibrated.
+  Expected<void> try_calibrate_all_batch(engine::Engine& engine,
+                                         std::uint64_t seed,
+                                         const ProtocolOptions& options = {});
 
   /// Like assay(), but additionally unmixes isoform cross-reactivity
   /// through the panel's cross-sensitivity matrix (characterized once,

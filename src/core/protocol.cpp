@@ -1,8 +1,10 @@
 #include "core/protocol.hpp"
 
+#include <cmath>
+#include <utility>
+
 #include "chem/solution.hpp"
 #include "common/error.hpp"
-#include <cmath>
 
 #include "common/math.hpp"
 
@@ -29,15 +31,23 @@ std::vector<Concentration> CalibrationProtocol::linear_series(
 ProtocolOutcome CalibrationProtocol::run(
     const BiosensorModel& sensor, std::span<const Concentration> series,
     Rng& rng) const {
-  require<SpecError>(series.size() >= 3,
-                     "calibration series needs at least three levels");
+  return try_run(sensor, series, rng).value_or_throw();
+}
+
+Expected<ProtocolOutcome> CalibrationProtocol::try_run(
+    const BiosensorModel& sensor, std::span<const Concentration> series,
+    Rng& rng) const {
+  const std::string frame = "calibration protocol";
+  BIOSENS_EXPECT(series.size() >= 3, ErrorCode::kSpec, Layer::kCore, frame,
+                 "calibration series needs at least three levels");
 
   ProtocolOutcome outcome;
   outcome.blank_responses_a.reserve(options_.blank_repeats);
   const chem::Sample blank = chem::blank_sample();
   for (std::size_t i = 0; i < options_.blank_repeats; ++i) {
-    outcome.blank_responses_a.push_back(
-        sensor.measure(blank, rng).response_a);
+    auto m = sensor.try_measure(blank, rng);
+    if (!m) return ctx(frame, Expected<ProtocolOutcome>(m.error()));
+    outcome.blank_responses_a.push_back(m.value().response_a);
   }
   const double sigma = analysis::blank_sigma(outcome.blank_responses_a);
 
@@ -47,7 +57,9 @@ ProtocolOutcome CalibrationProtocol::run(
     for (std::size_t r = 0; r < options_.replicates; ++r) {
       const chem::Sample s =
           chem::calibration_sample(sensor.spec().target, level);
-      sum += sensor.measure(s, rng).response_a;
+      auto m = sensor.try_measure(s, rng);
+      if (!m) return ctx(frame, Expected<ProtocolOutcome>(m.error()));
+      sum += m.value().response_a;
     }
     outcome.points.push_back(
         {level, sum / static_cast<double>(options_.replicates)});
@@ -56,8 +68,10 @@ ProtocolOutcome CalibrationProtocol::run(
   const analysis::CalibrationEngine engine(options_.calibration);
   const double point_sigma =
       sigma / std::sqrt(static_cast<double>(options_.replicates));
-  outcome.result = engine.calibrate(outcome.points, sigma,
-                                    sensor.electrode_area(), point_sigma);
+  auto result = engine.try_calibrate(outcome.points, sigma,
+                                     sensor.electrode_area(), point_sigma);
+  if (!result) return ctx(frame, Expected<ProtocolOutcome>(result.error()));
+  outcome.result = std::move(result).value();
   return outcome;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/calibration.hpp"
+#include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "core/sensor.hpp"
 
@@ -34,10 +35,19 @@ class CalibrationProtocol {
  public:
   explicit CalibrationProtocol(ProtocolOptions options = {});
 
-  /// Measures the series (plus blanks) and calibrates.
+  /// Measures the series (plus blanks) and calibrates. Throwing shim
+  /// over try_run().
   [[nodiscard]] ProtocolOutcome run(const BiosensorModel& sensor,
                                     std::span<const Concentration> series,
                                     Rng& rng) const;
+
+  /// Expected-returning counterpart of run(): a malformed series, a
+  /// measurement failure on any blank or level, or a calibration-fit
+  /// rejection comes back as a structured error with a "calibration
+  /// protocol" context frame instead of an exception.
+  [[nodiscard]] Expected<ProtocolOutcome> try_run(
+      const BiosensorModel& sensor, std::span<const Concentration> series,
+      Rng& rng) const;
 
   /// Convenience: evenly spaced `levels` concentrations from `low` to
   /// `high` (inclusive), the usual successive-addition series.

@@ -63,23 +63,36 @@ namespace {
 /// a real potentiostat does after its settling read. Blanks get the
 /// highest gain that still resolves the electrode noise.
 template <class Samples>
-readout::SignalChain autoranged_chain(const Samples& current_a,
-                                      Current blank_noise,
-                                      std::size_t smoothing_window) {
+Expected<readout::SignalChain> try_autoranged_chain(
+    const Samples& current_a, Current blank_noise,
+    std::size_t smoothing_window) {
   double peak = 0.0;
   for (double i : current_a) peak = std::max(peak, std::abs(i));
   const double fs =
       std::max(1.3 * peak, 20.0 * std::abs(blank_noise.amps()));
-  readout::ChainConfig config =
-      readout::SignalChain::for_full_scale(Current::amps(fs));
-  config.smoothing_window = smoothing_window;
-  return readout::SignalChain(config);
+  auto config = readout::SignalChain::try_for_full_scale(Current::amps(fs));
+  if (!config) {
+    return ctx("autorange", Expected<readout::SignalChain>(config.error()));
+  }
+  readout::ChainConfig cfg = config.value();
+  cfg.smoothing_window = smoothing_window;
+  return ctx("autorange", readout::SignalChain::try_create(std::move(cfg)));
 }
 
 }  // namespace
 
 Measurement BiosensorModel::measure(const chem::Sample& sample,
                                     Rng& rng) const {
+  return try_measure(sample, rng).value_or_throw();
+}
+
+Expected<Measurement> BiosensorModel::try_measure(const chem::Sample& sample,
+                                                  Rng& rng) const {
+  const std::string frame = "measure " + spec_.name;
+  if (auto v = chem::try_validate_species(sample); !v) {
+    return ctx(frame, Expected<Measurement>(v.error()));
+  }
+
   Measurement m;
   m.technique = spec_.technique;
 
@@ -91,18 +104,30 @@ Measurement BiosensorModel::measure(const chem::Sample& sample,
                                           spec_.ca_hold);
     const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
                                                 chrono);
-    const electrochem::TimeSeries ideal = sim.run();
-    const readout::SignalChain chain = autoranged_chain(
-        ideal.current_a, layer_.blank_noise_rms, options_.smoothing_window);
-    m.trace = chain.acquire(ideal, noise_spec(), rng);
-    m.response_a = m.trace.tail_mean_a(0.1);
+    auto ideal = sim.try_run();
+    if (!ideal) return ctx(frame, Expected<Measurement>(ideal.error()));
+    auto chain = try_autoranged_chain(
+        ideal.value().current_a, layer_.blank_noise_rms,
+        options_.smoothing_window);
+    if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
+    auto acquired =
+        chain.value().try_acquire(ideal.value(), noise_spec(), rng);
+    if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
+    m.trace = std::move(acquired).value();
+    auto tail = m.trace.try_tail_mean_a(0.1);
+    if (!tail) return ctx(frame, Expected<Measurement>(tail.error()));
+    m.response_a = tail.value();
     return m;
   }
 
   if (spec_.technique == Technique::kDifferentialPulseVoltammetry) {
     const electrochem::DifferentialPulseSim sim(
         make_cell(sample), electrochem::standard_cyp_dpv());
-    const electrochem::DpvTrace ideal = sim.run();
+    auto ideal_result = sim.try_run();
+    if (!ideal_result) {
+      return ctx(frame, Expected<Measurement>(ideal_result.error()));
+    }
+    const electrochem::DpvTrace& ideal = ideal_result.value();
 
     // The pulse/base subtraction happens inside one staircase step, so
     // only the part of the low-frequency background that decorrelates
@@ -122,14 +147,15 @@ Measurement BiosensorModel::measure(const chem::Sample& sample,
       as_series.push(period * static_cast<double>(k + 1),
                      ideal.delta_current_a[k]);
     }
-    const readout::SignalChain chain = autoranged_chain(
-        as_series.current_a, diff_noise.electrode_lf_rms,
-        options_.smoothing_window);
-    const electrochem::TimeSeries acquired =
-        chain.acquire(as_series, diff_noise, rng);
+    auto chain = try_autoranged_chain(as_series.current_a,
+                                      diff_noise.electrode_lf_rms,
+                                      options_.smoothing_window);
+    if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
+    auto acquired = chain.value().try_acquire(as_series, diff_noise, rng);
+    if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
 
     m.dpv.potential_v = ideal.potential_v;
-    m.dpv.delta_current_a = acquired.current_a;
+    m.dpv.delta_current_a = std::move(acquired).value().current_a;
     m.dpv.sample_gap_s = ideal.sample_gap_s;
     m.peak = analysis::find_dpv_peak(m.dpv);
     m.response_a = m.peak.has_value() ? m.peak->height_a : 0.0;
@@ -140,11 +166,18 @@ Measurement BiosensorModel::measure(const chem::Sample& sample,
                                        spec_.cv_scan_rate);
   const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
                                         options_.voltammetry);
-  const electrochem::Voltammogram ideal = sim.run();
-  const readout::SignalChain chain = autoranged_chain(
-      ideal.current_a, layer_.blank_noise_rms, options_.smoothing_window);
-  m.voltammogram = chain.acquire(ideal, noise_spec(), rng);
-  m.peak = analysis::find_cathodic_peak(m.voltammogram);
+  auto ideal = sim.try_run();
+  if (!ideal) return ctx(frame, Expected<Measurement>(ideal.error()));
+  auto chain = try_autoranged_chain(ideal.value().current_a,
+                                    layer_.blank_noise_rms,
+                                    options_.smoothing_window);
+  if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
+  auto acquired = chain.value().try_acquire(ideal.value(), noise_spec(), rng);
+  if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
+  m.voltammogram = std::move(acquired).value();
+  auto peak = analysis::try_find_cathodic_peak(m.voltammogram);
+  if (!peak) return ctx(frame, Expected<Measurement>(peak.error()));
+  m.peak = peak.value();
   m.response_a = m.peak.has_value() ? m.peak->height_a : 0.0;
   return m;
 }

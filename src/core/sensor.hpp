@@ -49,9 +49,19 @@ class BiosensorModel {
  public:
   explicit BiosensorModel(SensorSpec spec, MeasurementOptions options = {});
 
-  /// Full noisy measurement of a sample.
+  /// Full noisy measurement of a sample. Throwing shim over
+  /// try_measure().
   [[nodiscard]] Measurement measure(const chem::Sample& sample,
                                     Rng& rng) const;
+
+  /// Expected-returning counterpart of measure(): every fallible stage of
+  /// the pipeline (sample-species validation, the electrochemical
+  /// simulation with its chem-layer environment checks, autoranging,
+  /// acquisition, trace reduction) reports through the returned Expected
+  /// with a "measure <sensor>" context frame — no exceptions cross the
+  /// core boundary.
+  [[nodiscard]] Expected<Measurement> try_measure(const chem::Sample& sample,
+                                                  Rng& rng) const;
 
   /// Noiseless response (physics only, no readout) — the deterministic
   /// backbone used by inverse design and fast sweeps.

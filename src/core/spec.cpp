@@ -1,52 +1,64 @@
 #include "core/spec.hpp"
 
-#include "common/error.hpp"
+#include <algorithm>
 
 namespace biosens::core {
 
-void SensorSpec::validate() const {
-  assembly.validate();
-  require<SpecError>(!name.empty(), "sensor needs a name");
-  require<SpecError>(target == assembly.substrate,
-                     "sensor target '" + target +
-                         "' differs from assembly substrate '" +
-                         assembly.substrate + "'");
+void SensorSpec::validate() const { try_validate().value_or_throw(); }
+
+Expected<void> SensorSpec::try_validate() const {
+  if (auto a = assembly.try_validate(); !a) {
+    return ctx("validate spec " + name, std::move(a));
+  }
+  BIOSENS_EXPECT(!name.empty(), ErrorCode::kSpec, Layer::kCore, "spec",
+                 "sensor needs a name");
+  BIOSENS_EXPECT(target == assembly.substrate, ErrorCode::kSpec, Layer::kCore,
+                 "spec",
+                 "sensor target '" + target +
+                     "' differs from assembly substrate '" +
+                     assembly.substrate + "'");
 
   const chem::EnzymeFamily family = assembly.enzyme.family;
   switch (technique) {
     case Technique::kChronoamperometry:
-      require<SpecError>(
-          family == chem::EnzymeFamily::kOxidase,
+      BIOSENS_EXPECT(
+          family == chem::EnzymeFamily::kOxidase, ErrorCode::kSpec,
+          Layer::kCore, "spec",
           "chronoamperometry requires an oxidase probe (H2O2 readout): " +
               name);
-      require<SpecError>(ca_hold.seconds() > 0.0,
-                         "hold time must be positive: " + name);
+      BIOSENS_EXPECT(ca_hold.seconds() > 0.0, ErrorCode::kSpec, Layer::kCore,
+                     "spec", "hold time must be positive: " + name);
       // H2O2 oxidation needs a sufficiently anodic step.
-      require<SpecError>(ca_step_potential.millivolts() >= 400.0,
-                         "oxidase step potential must be >= +400 mV "
-                         "to oxidize H2O2: " +
-                             name);
+      BIOSENS_EXPECT(ca_step_potential.millivolts() >= 400.0,
+                     ErrorCode::kSpec, Layer::kCore, "spec",
+                     "oxidase step potential must be >= +400 mV "
+                     "to oxidize H2O2: " +
+                         name);
       break;
     case Technique::kCyclicVoltammetry:
     case Technique::kDifferentialPulseVoltammetry: {
-      require<SpecError>(
-          family == chem::EnzymeFamily::kCytochromeP450,
+      BIOSENS_EXPECT(
+          family == chem::EnzymeFamily::kCytochromeP450, ErrorCode::kSpec,
+          Layer::kCore, "spec",
           "voltammetric detection requires a CYP probe (direct electron "
           "transfer): " +
               name);
-      require<SpecError>(cv_scan_rate.volts_per_second() > 0.0,
-                         "scan rate must be positive: " + name);
+      BIOSENS_EXPECT(cv_scan_rate.volts_per_second() > 0.0, ErrorCode::kSpec,
+                     Layer::kCore, "spec",
+                     "scan rate must be positive: " + name);
       const double e0 = assembly.enzyme.formal_potential.volts();
       const double lo = std::min(cv_start.volts(), cv_vertex.volts());
       const double hi = std::max(cv_start.volts(), cv_vertex.volts());
-      require<SpecError>(
-          e0 > lo + 0.1 && e0 < hi - 0.1,
+      BIOSENS_EXPECT(
+          e0 > lo + 0.1 && e0 < hi - 0.1, ErrorCode::kSpec, Layer::kCore,
+          "spec",
           "voltammetric window must bracket the enzyme formal potential "
           "with 100 mV margin: " +
               name);
       break;
     }
   }
+  return ok();
 }
 
 std::string_view to_string(Technique t) {

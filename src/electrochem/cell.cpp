@@ -53,8 +53,13 @@ Concentration Cell::substrate_bulk() const {
 }
 
 double Cell::environment_factor() const {
-  return chem::relative_activity(layer_.environment, sample_.buffer(),
-                                 sample_.dissolved_oxygen());
+  return try_environment_factor().value_or_throw();
+}
+
+Expected<double> Cell::try_environment_factor() const {
+  return ctx("environment factor",
+             chem::try_relative_activity(layer_.environment, sample_.buffer(),
+                                         sample_.dissolved_oxygen()));
 }
 
 double Cell::layer_thickness_m(Time elapsed) const {
@@ -69,6 +74,10 @@ double Cell::layer_thickness_m(Time elapsed) const {
 }
 
 Current Cell::interferent_current(Potential applied) const {
+  return try_interferent_current(applied).value_or_throw();
+}
+
+Expected<Current> Cell::try_interferent_current(Potential applied) const {
   double total = 0.0;
   const double delta = layer_thickness_m(Time::seconds(30.0));
   for (const std::string& name : sample_.species_names()) {
@@ -76,7 +85,11 @@ Current Cell::interferent_current(Potential applied) const {
     if (!onset.has_value()) continue;
     const Concentration c = sample_.concentration_of(name);
     if (c.milli_molar() <= 0.0) continue;
-    const chem::Species& sp = chem::species_or_throw(name);
+    auto species = chem::try_species(name);
+    if (!species) {
+      return ctx("interferent current", Expected<Current>(species.error()));
+    }
+    const chem::Species& sp = *species.value();
     const CurrentDensity j_lim = transport::limiting_current_density(
         oxidation_electrons(name), sp.diffusivity, c, delta);
     const double gate =

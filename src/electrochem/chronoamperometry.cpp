@@ -26,8 +26,17 @@ ChronoamperometrySim::ChronoamperometrySim(Cell cell, PotentialStep waveform,
 }
 
 TimeSeries ChronoamperometrySim::run() const {
+  return try_run().value_or_throw();
+}
+
+Expected<TimeSeries> ChronoamperometrySim::try_run() const {
   const electrode::EffectiveLayer& layer = cell_.layer();
-  const chem::MichaelisMenten kinetics = layer.kinetics();
+  auto kinetics_result = layer.try_kinetics();
+  if (!kinetics_result) {
+    return ctx("chronoamperometry",
+               Expected<TimeSeries>(kinetics_result.error()));
+  }
+  const chem::MichaelisMenten& kinetics = kinetics_result.value();
   const double gamma = layer.wired_coverage.mol_per_m2();
   const double n_f =
       layer.electrons * constants::kFaraday;
@@ -46,7 +55,12 @@ TimeSeries ChronoamperometrySim::run() const {
   transport::DiffusionField field(layer.substrate_diffusivity, grid,
                                   cell_.substrate_bulk());
 
-  const double activity = cell_.environment_factor();
+  auto activity_result = cell_.try_environment_factor();
+  if (!activity_result) {
+    return ctx("chronoamperometry",
+               Expected<TimeSeries>(activity_result.error()));
+  }
+  const double activity = activity_result.value();
   const auto surface_flux = [&](double surface_mm) {
     return activity *
            kinetics.areal_flux(
@@ -55,10 +69,12 @@ TimeSeries ChronoamperometrySim::run() const {
   };
 
   const Potential step_height = waveform_.step() - waveform_.rest();
-  const Current interferents =
-      options_.include_interferents
-          ? cell_.interferent_current(waveform_.step())
-          : Current{};
+  Current interferents;
+  if (options_.include_interferents) {
+    auto i = cell_.try_interferent_current(waveform_.step());
+    if (!i) return ctx("chronoamperometry", Expected<TimeSeries>(i.error()));
+    interferents = i.value();
+  }
 
   TimeSeries trace;
   const auto steps = static_cast<std::size_t>(
@@ -84,7 +100,14 @@ TimeSeries ChronoamperometrySim::run() const {
 }
 
 Current ChronoamperometrySim::steady_state() const {
-  return Current::amps(run().tail_mean_a(0.1));
+  return try_steady_state().value_or_throw();
+}
+
+Expected<Current> ChronoamperometrySim::try_steady_state() const {
+  return ctx("steady state", try_run().and_then([](const TimeSeries& trace) {
+    return trace.try_tail_mean_a(0.1).map(
+        [](double amps) { return Current::amps(amps); });
+  }));
 }
 
 Time ChronoamperometrySim::response_time_95() const {

@@ -35,7 +35,21 @@ double DifferentialPulseSim::differential_shape_factor(
 }
 
 DpvTrace DifferentialPulseSim::run() const {
+  return try_run().value_or_throw();
+}
+
+Expected<DpvTrace> DifferentialPulseSim::try_run() const {
   const electrode::EffectiveLayer& layer = cell_.layer();
+  // Pre-flight the fallible ingredients once (see VoltammetrySim).
+  if (auto v = chem::try_validate_species(cell_.sample()); !v) {
+    return ctx("dpv", Expected<DpvTrace>(v.error()));
+  }
+  if (auto k = layer.try_kinetics(); !k) {
+    return ctx("dpv", Expected<DpvTrace>(k.error()));
+  }
+  auto activity = cell_.try_environment_factor();
+  if (!activity) return ctx("dpv", Expected<DpvTrace>(activity.error()));
+
   const double n = layer.electrons;
   const double f_over_rt = 1.0 / constants::kThermalVoltage;
 
@@ -63,7 +77,7 @@ DpvTrace DifferentialPulseSim::run() const {
                  (cross.k_m_app.milli_molar() + c.milli_molar()) *
                  layer.geometric_area.square_meters();
   }
-  catalytic *= cell_.environment_factor();
+  catalytic *= activity.value();
 
   const double amp = waveform_.pulse_amplitude().volts();
   const double e0 = layer.formal_potential.volts();

@@ -73,7 +73,32 @@ CurrentDensity VoltammetrySim::catalytic_peak_density(Concentration c) const {
 }
 
 Voltammogram VoltammetrySim::run() const {
+  return try_run().value_or_throw();
+}
+
+Expected<Voltammogram> VoltammetrySim::try_run() const {
   const electrode::EffectiveLayer& layer = cell_.layer();
+  // Pre-flight the fallible ingredients once so the per-point loop below
+  // can use the plain accessors without exceptions sneaking back in.
+  if (auto v = chem::try_validate_species(cell_.sample()); !v) {
+    return ctx("voltammetry", Expected<Voltammogram>(v.error()));
+  }
+  if (auto k = layer.try_kinetics(); !k) {
+    return ctx("voltammetry", Expected<Voltammogram>(k.error()));
+  }
+  BIOSENS_EXPECT(layer.electrons > 0, ErrorCode::kSpec, Layer::kElectrochem,
+                 "voltammetry", "electron count must be positive");
+  for (const electrode::CrossActivity& cross : layer.secondary) {
+    BIOSENS_EXPECT(cross.electrons > 0, ErrorCode::kSpec,
+                   Layer::kElectrochem, "voltammetry",
+                   "cross-activity electron count must be positive: " +
+                       cross.substrate);
+  }
+  auto activity = cell_.try_environment_factor();
+  if (!activity) {
+    return ctx("voltammetry", Expected<Voltammogram>(activity.error()));
+  }
+
   const double n = layer.electrons;
   const double f_over_rt =
       constants::kFaraday /
@@ -117,7 +142,7 @@ Voltammogram VoltammetrySim::run() const {
                      .amps_per_m2() *
                  area;
   }
-  catalytic *= cell_.environment_factor();
+  catalytic *= activity.value();
 
   const Time half = waveform_.half_period();
   const std::size_t per_sweep = options_.points_per_sweep;

@@ -39,8 +39,13 @@ class VoltammetrySim {
 
   /// Runs the sweep and returns the (noiseless) voltammogram. Points are
   /// in sweep order: forward branch first, reverse branch after
-  /// turning_index.
+  /// turning_index. Throwing shim over try_run().
   [[nodiscard]] Voltammogram run() const;
+
+  /// Expected-returning counterpart of run(): unknown sample species,
+  /// degenerate layer kinetics, and environment violations come back as
+  /// structured errors with the "voltammetry" context frame.
+  [[nodiscard]] Expected<Voltammogram> try_run() const;
 
   /// Laviron peak separation at the configured scan rate [V]; zero in
   /// the reversible (fast k_s) limit.

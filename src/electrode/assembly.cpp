@@ -8,26 +8,44 @@
 
 namespace biosens::electrode {
 
-void Assembly::validate() const {
-  modification.validate();
-  immobilization.validate();
-  require<SpecError>(geometry.working_area.square_meters() > 0.0,
-                     "electrode area must be positive");
-  require<SpecError>(enzyme.kinetics_for(substrate).has_value(),
-                     "enzyme '" + enzyme.name + "' has no kinetics for '" +
-                         substrate + "'");
-  require<SpecError>(loading_monolayers > 0.0,
-                     "enzyme loading must be positive");
-  require<SpecError>(
-      loading_monolayers <= immobilization.max_monolayers,
-      "enzyme loading exceeds what " +
-          std::string(to_string(immobilization.method)) + " supports");
-  require<SpecError>(km_tuning > 0.0, "km_tuning must be positive");
-  require<SpecError>(noise_tuning > 0.0, "noise_tuning must be positive");
+void Assembly::validate() const { try_validate().value_or_throw(); }
+
+Expected<void> Assembly::try_validate() const {
+  if (auto m = modification.try_validate(); !m) {
+    return ctx("validate assembly", std::move(m));
+  }
+  if (auto i = immobilization.try_validate(); !i) {
+    return ctx("validate assembly", std::move(i));
+  }
+  BIOSENS_EXPECT(geometry.working_area.square_meters() > 0.0,
+                 ErrorCode::kSpec, Layer::kElectrode, "assembly",
+                 "electrode area must be positive");
+  BIOSENS_EXPECT(enzyme.kinetics_for(substrate).has_value(), ErrorCode::kSpec,
+                 Layer::kElectrode, "assembly",
+                 "enzyme '" + enzyme.name + "' has no kinetics for '" +
+                     substrate + "'");
+  BIOSENS_EXPECT(loading_monolayers > 0.0, ErrorCode::kSpec,
+                 Layer::kElectrode, "assembly",
+                 "enzyme loading must be positive");
+  BIOSENS_EXPECT(loading_monolayers <= immobilization.max_monolayers,
+                 ErrorCode::kSpec, Layer::kElectrode, "assembly",
+                 "enzyme loading exceeds what " +
+                     std::string(to_string(immobilization.method)) +
+                     " supports");
+  BIOSENS_EXPECT(km_tuning > 0.0, ErrorCode::kSpec, Layer::kElectrode,
+                 "assembly", "km_tuning must be positive");
+  BIOSENS_EXPECT(noise_tuning > 0.0, ErrorCode::kSpec, Layer::kElectrode,
+                 "assembly", "noise_tuning must be positive");
+  return ok();
 }
 
 chem::MichaelisMenten EffectiveLayer::kinetics() const {
-  return chem::MichaelisMenten(k_cat_app, k_m_app);
+  return try_kinetics().value_or_throw();
+}
+
+Expected<chem::MichaelisMenten> EffectiveLayer::try_kinetics() const {
+  return ctx("effective layer kinetics",
+             chem::MichaelisMenten::try_create(k_cat_app, k_m_app));
 }
 
 CurrentDensity EffectiveLayer::catalytic_current_density(
@@ -47,8 +65,21 @@ Sensitivity EffectiveLayer::intrinsic_sensitivity() const {
 }
 
 EffectiveLayer synthesize(const Assembly& assembly, Time age) {
-  assembly.validate();
-  require<SpecError>(age.seconds() >= 0.0, "age must be non-negative");
+  return try_synthesize(assembly, age).value_or_throw();
+}
+
+Expected<EffectiveLayer> try_synthesize(const Assembly& assembly, Time age) {
+  if (auto v = assembly.try_validate(); !v) {
+    return ctx("synthesize layer", Expected<EffectiveLayer>(v.error()));
+  }
+  BIOSENS_EXPECT(age.seconds() >= 0.0, ErrorCode::kSpec, Layer::kElectrode,
+                 "synthesize layer", "age must be non-negative");
+
+  auto substrate_species = chem::try_species(assembly.substrate);
+  if (!substrate_species) {
+    return ctx("synthesize layer",
+               Expected<EffectiveLayer>(substrate_species.error()));
+  }
 
   const auto kin = assembly.enzyme.kinetics_for(assembly.substrate);
   const Modification& mod = assembly.modification;
@@ -66,8 +97,7 @@ EffectiveLayer synthesize(const Assembly& assembly, Time age) {
 
   EffectiveLayer layer;
   layer.substrate = assembly.substrate;
-  layer.substrate_diffusivity =
-      chem::species_or_throw(assembly.substrate).diffusivity;
+  layer.substrate_diffusivity = substrate_species.value()->diffusivity;
   layer.wired_coverage = SurfaceCoverage::mol_per_m2(coverage);
   layer.k_cat_app = kin->k_cat;
   layer.k_m_app = Concentration::milli_molar(kin->k_m.milli_molar() *
@@ -91,9 +121,13 @@ EffectiveLayer synthesize(const Assembly& assembly, Time age) {
   layer.environment = assembly.enzyme.environment;
   for (const chem::SubstrateKinetics& cross : assembly.enzyme.substrates) {
     if (cross.substrate == assembly.substrate) continue;
+    auto cross_species = chem::try_species(cross.substrate);
+    if (!cross_species) {
+      return ctx("synthesize layer",
+                 Expected<EffectiveLayer>(cross_species.error()));
+    }
     layer.secondary.push_back(
-        {cross.substrate,
-         chem::species_or_throw(cross.substrate).diffusivity, cross.k_cat,
+        {cross.substrate, cross_species.value()->diffusivity, cross.k_cat,
          Concentration::milli_molar(cross.k_m.milli_molar() *
                                     mod.km_multiplier *
                                     assembly.km_tuning),

@@ -38,8 +38,11 @@ struct Assembly {
 
   /// Validates the composition; throws SpecError when inconsistent
   /// (unknown substrate for the enzyme, loading above the method's limit,
-  /// non-physical descriptors).
+  /// non-physical descriptors). Throwing shim over try_validate().
   void validate() const;
+
+  /// Expected-returning counterpart of validate().
+  [[nodiscard]] Expected<void> try_validate() const;
 };
 
 /// A non-primary substrate the immobilized enzyme also turns over
@@ -83,7 +86,13 @@ struct EffectiveLayer {
   std::vector<CrossActivity> secondary;
 
   /// Apparent Michaelis-Menten law of the layer.
+  /// Throwing shim over try_kinetics().
   [[nodiscard]] chem::MichaelisMenten kinetics() const;
+
+  /// Expected-returning counterpart of kinetics(): the chem-layer spec
+  /// error of a degenerate rate law, attributed through the electrode
+  /// layer's context.
+  [[nodiscard]] Expected<chem::MichaelisMenten> try_kinetics() const;
 
   /// Kinetically limited catalytic current density at a substrate
   /// concentration: j = n * F * Gamma_wired * v(S).
@@ -100,7 +109,14 @@ struct EffectiveLayer {
 
 /// Synthesizes the effective layer of an assembly. `age` models sensor
 /// aging: activity decays as exp(-decay * age) (zero by default).
+/// Throwing shim over try_synthesize().
 [[nodiscard]] EffectiveLayer synthesize(const Assembly& assembly,
                                         Time age = Time::seconds(0.0));
+
+/// Expected-returning counterpart of synthesize(): validation and
+/// species-lookup failures come back as structured errors with the
+/// "synthesize layer" context frame.
+[[nodiscard]] Expected<EffectiveLayer> try_synthesize(
+    const Assembly& assembly, Time age = Time::seconds(0.0));
 
 }  // namespace biosens::electrode

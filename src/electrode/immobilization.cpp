@@ -6,32 +6,44 @@
 
 namespace biosens::electrode {
 
-void Immobilization::validate() const {
-  require<SpecError>(activity_retention > 0.0 && activity_retention <= 1.0,
-                     "activity_retention must be in (0, 1]");
-  require<SpecError>(max_monolayers > 0.0,
-                     "max_monolayers must be positive");
-  require<SpecError>(decay.per_second() >= 0.0,
-                     "decay rate must be non-negative");
+void Immobilization::validate() const { try_validate().value_or_throw(); }
+
+Expected<void> Immobilization::try_validate() const {
+  BIOSENS_EXPECT(activity_retention > 0.0 && activity_retention <= 1.0,
+                 ErrorCode::kSpec, Layer::kElectrode, "immobilization",
+                 "activity_retention must be in (0, 1]");
+  BIOSENS_EXPECT(max_monolayers > 0.0, ErrorCode::kSpec, Layer::kElectrode,
+                 "immobilization", "max_monolayers must be positive");
+  BIOSENS_EXPECT(decay.per_second() >= 0.0, ErrorCode::kSpec,
+                 Layer::kElectrode, "immobilization",
+                 "decay rate must be non-negative");
+  return ok();
 }
 
 Immobilization immobilization_defaults(ImmobilizationMethod method) {
+  return try_immobilization_defaults(method).value_or_throw();
+}
+
+Expected<Immobilization> try_immobilization_defaults(
+    ImmobilizationMethod method) {
   switch (method) {
     case ImmobilizationMethod::kAdsorption:
       // Gentle, preserves conformation; limited to a few layers; the CNT
       // protein-adsorption route the platform uses [4].
-      return {method, 0.85, 3.0, Rate::per_second(2.0e-7)};
+      return Immobilization{method, 0.85, 3.0, Rate::per_second(2.0e-7)};
     case ImmobilizationMethod::kCovalent:
       // Strong bond, some active-site damage; very stable.
-      return {method, 0.55, 1.5, Rate::per_second(4.0e-8)};
+      return Immobilization{method, 0.55, 1.5, Rate::per_second(4.0e-8)};
     case ImmobilizationMethod::kEntrapment:
       // High loading inside the matrix, but much of it is diffusion-
       // shielded; moderately stable.
-      return {method, 0.65, 6.0, Rate::per_second(1.2e-7)};
+      return Immobilization{method, 0.65, 6.0, Rate::per_second(1.2e-7)};
     case ImmobilizationMethod::kCrossLinking:
-      return {method, 0.45, 4.0, Rate::per_second(8.0e-8)};
+      return Immobilization{method, 0.45, 4.0, Rate::per_second(8.0e-8)};
   }
-  throw SpecError("unknown immobilization method");
+  return make_error(ErrorCode::kSpec, Layer::kElectrode,
+                    "immobilization defaults",
+                    "unknown immobilization method");
 }
 
 double remaining_activity(const Immobilization& imm, Time elapsed) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::electrode {
@@ -34,11 +35,21 @@ struct Immobilization {
   Rate decay = Rate::per_second(1e-7);
 
   /// Validates ranges; throws SpecError when out of physical bounds.
+  /// Throwing shim over try_validate().
   void validate() const;
+
+  /// Expected-returning counterpart of validate().
+  [[nodiscard]] Expected<void> try_validate() const;
 };
 
 /// Default descriptor for each method.
+/// Throwing shim over try_immobilization_defaults().
 [[nodiscard]] Immobilization immobilization_defaults(
+    ImmobilizationMethod method);
+
+/// Expected-returning counterpart of immobilization_defaults(); an
+/// electrode-layer spec error for an out-of-range method value.
+[[nodiscard]] Expected<Immobilization> try_immobilization_defaults(
     ImmobilizationMethod method);
 
 /// Remaining activity fraction after elapsed time (exp(-decay * t)).

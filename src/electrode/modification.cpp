@@ -6,21 +6,28 @@
 
 namespace biosens::electrode {
 
-void Modification::validate() const {
-  require<SpecError>(area_enhancement >= 1.0,
-                     "area_enhancement must be >= 1: " + name);
-  require<SpecError>(
-      transfer_efficiency > 0.0 && transfer_efficiency <= 1.0,
-      "transfer_efficiency must be in (0, 1]: " + name);
-  require<SpecError>(km_multiplier > 0.0,
-                     "km_multiplier must be positive: " + name);
-  require<SpecError>(noise_multiplier > 0.0,
-                     "noise_multiplier must be positive: " + name);
-  require<SpecError>(electron_transfer_rate.per_second() > 0.0,
-                     "electron_transfer_rate must be positive: " + name);
-  require<SpecError>(
+void Modification::validate() const { try_validate().value_or_throw(); }
+
+Expected<void> Modification::try_validate() const {
+  BIOSENS_EXPECT(area_enhancement >= 1.0, ErrorCode::kSpec,
+                 Layer::kElectrode, "modification",
+                 "area_enhancement must be >= 1: " + name);
+  BIOSENS_EXPECT(transfer_efficiency > 0.0 && transfer_efficiency <= 1.0,
+                 ErrorCode::kSpec, Layer::kElectrode, "modification",
+                 "transfer_efficiency must be in (0, 1]: " + name);
+  BIOSENS_EXPECT(km_multiplier > 0.0, ErrorCode::kSpec, Layer::kElectrode,
+                 "modification", "km_multiplier must be positive: " + name);
+  BIOSENS_EXPECT(noise_multiplier > 0.0, ErrorCode::kSpec, Layer::kElectrode,
+                 "modification",
+                 "noise_multiplier must be positive: " + name);
+  BIOSENS_EXPECT(electron_transfer_rate.per_second() > 0.0, ErrorCode::kSpec,
+                 Layer::kElectrode, "modification",
+                 "electron_transfer_rate must be positive: " + name);
+  BIOSENS_EXPECT(
       interferent_transmission >= 0.0 && interferent_transmission <= 1.0,
+      ErrorCode::kSpec, Layer::kElectrode, "modification",
       "interferent_transmission must be in [0, 1]: " + name);
+  return ok();
 }
 
 // The descriptor values below are chosen so that, composed with the

@@ -25,6 +25,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::electrode {
@@ -45,7 +46,11 @@ struct Modification {
   double interferent_transmission = 1.0;
 
   /// Validates ranges; throws SpecError when out of physical bounds.
+  /// Throwing shim over try_validate().
   void validate() const;
+
+  /// Expected-returning counterpart of validate().
+  [[nodiscard]] Expected<void> try_validate() const;
 };
 
 /// Bare, unmodified electrode (enzyme physisorbed directly; most of it

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/expected.hpp"
 #include "engine/engine.hpp"
 
 namespace biosens::engine {
@@ -29,9 +30,12 @@ AffinityLocks build_affinity_locks(const std::vector<JobSpec>& jobs) {
   return locks;
 }
 
-/// Runs every attempt of one job. Returns via `out`; never throws for a
-/// QC rejection (that is what retry/`accepted=false` express); any
-/// exception from the body is the caller's to capture.
+/// Runs every attempt of one job. Returns via `out`; never throws. A QC
+/// rejection (`Expected` holding false) re-measures under the retry
+/// policy; a structured error is recorded on the report and retried only
+/// when the policy classifies it as transient; a stray exception from a
+/// legacy body is converted to an ErrorInfo at this boundary instead of
+/// unwinding into the pool.
 void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
                  const Rng& root, const BatchOptions& options,
                  std::mutex* instrument, JobReport& out) {
@@ -56,6 +60,7 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
 
     JobContext context{index, attempt, job_rng.child(attempt)};
     const Stopwatch attempt_watch;
+    Expected<bool> result(false);
     {
       // Hold the physical instrument for the duration of the attempt:
       // one chip measures one panel at a time (shared counter/reference).
@@ -67,7 +72,14 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
         std::this_thread::sleep_for(std::chrono::duration<double>(
             job.dwell.seconds() * engine.dwell_scale()));
       }
-      accepted = job.body(context);
+      try {
+        result = job.body(context);
+      } catch (const std::exception& e) {
+        result = ErrorInfo::from_exception(e, Layer::kEngine, job.name);
+      } catch (...) {
+        result = make_error(ErrorCode::kInternal, Layer::kEngine, job.name,
+                            "job body raised a non-standard exception");
+      }
     }
     const double took = attempt_watch.elapsed_seconds();
     ++attempts;
@@ -75,13 +87,30 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
     metrics.attempts.increment();
     metrics.attempt_latency.record(took);
     metrics.add_busy_seconds(took);
-    if (accepted) break;
+
+    if (result.has_value()) {
+      accepted = result.value();
+      out.error.reset();
+      if (accepted) break;
+      continue;  // QC rejection: worth re-measuring under the budget
+    }
+    accepted = false;
+    out.error = std::move(result.error());
+    // A deterministic fault would reproduce on every attempt — stop
+    // instead of burning the remaining retry budget.
+    if (!options.retry.should_retry(*out.error)) break;
   }
 
   out.attempts = attempts;
   out.accepted = accepted;
   out.wall_seconds = job_watch.elapsed_seconds();
-  (accepted ? metrics.jobs_succeeded : metrics.jobs_failed).increment();
+  if (accepted) {
+    metrics.jobs_succeeded.increment();
+  } else {
+    metrics.jobs_failed.increment();
+    metrics.record_failure(out.error.has_value() ? out.error->code
+                                                 : ErrorCode::kQcReject);
+  }
 }
 
 }  // namespace
@@ -98,7 +127,6 @@ std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
   std::vector<JobReport> reports(count);
   if (count == 0) return reports;
 
-  std::vector<std::exception_ptr> errors(count);
   const AffinityLocks affinity_locks = build_affinity_locks(jobs);
   const Rng root(options.seed);
   MetricsRegistry& metrics = engine_.metrics();
@@ -108,12 +136,8 @@ std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
     if (jobs[i].affinity != kNoAffinity) {
       instrument = affinity_locks.at(jobs[i].affinity).get();
     }
-    try {
-      run_one_job(engine_, jobs[i], i, root, options, instrument,
-                  reports[i]);
-    } catch (...) {
-      errors[i] = std::current_exception();
-    }
+    run_one_job(engine_, jobs[i], i, root, options, instrument,
+                reports[i]);
   };
 
   ThreadPool* pool = engine_.pool();
@@ -144,11 +168,8 @@ std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
     all_done.wait(lock, [&] { return completed == count; });
   }
 
-  // Deterministic error propagation: the lowest-indexed failure wins,
-  // regardless of which worker hit it first.
-  for (std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  // Failures never abort the batch: each lives on its own JobReport as
+  // a structured error, deterministically, whatever the worker count.
   return reports;
 }
 

@@ -30,9 +30,11 @@ class BatchRunner {
   explicit BatchRunner(Engine& engine) : engine_(engine) {}
 
   /// Executes every job and returns per-job reports in input order.
-  /// Blocks until the whole batch has completed. A job body that throws
-  /// aborts the batch: all in-flight jobs finish, then the exception of
-  /// the lowest-indexed failing job is rethrown.
+  /// Blocks until the whole batch has completed. Job failures never
+  /// abort the batch: a body's structured error lands on its own
+  /// JobReport (and in the per-code failure counters), is retried only
+  /// when ErrorInfo::retryable() classifies it as transient, and every
+  /// other job runs to completion regardless.
   std::vector<JobReport> run(const std::vector<JobSpec>& jobs,
                              const BatchOptions& options = {});
 

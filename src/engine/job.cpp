@@ -20,7 +20,7 @@ std::string_view to_string(JobKind kind) {
 
 Table jobs_table(const std::vector<JobReport>& reports) {
   Table table({"index", "name", "kind", "attempts", "accepted",
-               "wall_seconds", "simulated_backoff_s"});
+               "wall_seconds", "simulated_backoff_s", "error"});
   for (const JobReport& r : reports) {
     char wall[32], backoff[32];
     std::snprintf(wall, sizeof(wall), "%.6g", r.wall_seconds);
@@ -29,7 +29,8 @@ Table jobs_table(const std::vector<JobReport>& reports) {
     table.add_row({std::to_string(r.index), r.name,
                    std::string(to_string(r.kind)),
                    std::to_string(r.attempts), r.accepted ? "yes" : "no",
-                   wall, backoff});
+                   wall, backoff,
+                   r.error.has_value() ? r.error->describe() : ""});
   }
   return table;
 }

@@ -11,10 +11,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -44,10 +46,14 @@ struct JobContext {
 };
 
 /// One measurement attempt. Returns true when the result passes QC;
-/// false requests a re-measurement under the batch's retry policy.
-/// Exceptions abort the whole batch (they indicate misuse, not a bad
-/// measurement — see common/error.hpp).
-using JobBody = std::function<bool(JobContext&)>;
+/// false requests a re-measurement under the batch's retry policy. A
+/// structured error (Expected holding an ErrorInfo) marks the attempt
+/// failed: the engine records it on the JobReport and in the per-code
+/// failure counters, retries it only when ErrorInfo::retryable() says
+/// the fault is transient, and never lets it abort the rest of the
+/// batch. Bodies should not throw — a stray exception is caught at the
+/// engine boundary and converted via ErrorInfo::from_exception().
+using JobBody = std::function<Expected<bool>(JobContext&)>;
 
 /// A schedulable unit of work.
 struct JobSpec {
@@ -73,6 +79,9 @@ struct JobReport {
   JobKind kind = JobKind::kCustom;
   std::size_t attempts = 0;
   bool accepted = false;  ///< final attempt passed QC
+  /// Structured failure of the *final* attempt (empty when the job was
+  /// accepted, or when it merely exhausted QC retries without a fault).
+  std::optional<ErrorInfo> error;
   double wall_seconds = 0.0;  ///< real execution time across attempts
   Time simulated_backoff = Time::seconds(0.0);
   Time simulated_dwell = Time::seconds(0.0);

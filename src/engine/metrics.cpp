@@ -98,6 +98,11 @@ Table MetricsSnapshot::to_table() const {
   table.add_row({"jobs_failed", std::to_string(jobs_failed)});
   table.add_row({"attempts", std::to_string(attempts)});
   table.add_row({"retries", std::to_string(retries)});
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+    table.add_row(
+        {"failed_" + std::string(to_string(static_cast<ErrorCode>(c))),
+         std::to_string(failures_by_code[c])});
+  }
   table.add_row({"wall_seconds", format_seconds(wall_seconds)});
   table.add_row({"busy_seconds", format_seconds(busy_seconds)});
   table.add_row(
@@ -126,6 +131,9 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   s.jobs_failed = jobs_failed.value();
   s.attempts = attempts.value();
   s.retries = retries.value();
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+    s.failures_by_code[c] = failures_by_code[c].value();
+  }
   s.wall_seconds = wall_seconds;
   s.busy_seconds =
       static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) /
@@ -151,6 +159,7 @@ void MetricsRegistry::reset() {
   jobs_failed.reset();
   attempts.reset();
   retries.reset();
+  for (Counter& c : failures_by_code) c.reset();
   attempt_latency.reset();
   busy_nanos_.store(0, std::memory_order_relaxed);
   backoff_nanos_.store(0, std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/expected.hpp"
 #include "common/table.hpp"
 
 namespace biosens::engine {
@@ -84,6 +85,9 @@ struct MetricsSnapshot {
   std::uint64_t jobs_failed = 0;    ///< QC still rejecting after retries
   std::uint64_t attempts = 0;       ///< total measurement attempts
   std::uint64_t retries = 0;        ///< attempts beyond the first
+  /// Failed jobs broken down by the final attempt's ErrorCode (pure QC
+  /// exhaustion without a structured fault counts under kQcReject).
+  std::array<std::uint64_t, kErrorCodeCount> failures_by_code{};
   double wall_seconds = 0.0;        ///< batch wall-clock time
   double busy_seconds = 0.0;        ///< summed attempt execution time
   double backoff_sim_seconds = 0.0; ///< simulated re-measurement backoff
@@ -115,7 +119,13 @@ class MetricsRegistry {
   Counter jobs_failed;
   Counter attempts;
   Counter retries;
+  /// Failed jobs by final ErrorCode (indexed by the enum's value).
+  std::array<Counter, kErrorCodeCount> failures_by_code;
   LatencyHistogram attempt_latency;
+
+  void record_failure(ErrorCode code) {
+    failures_by_code[static_cast<std::size_t>(code)].increment();
+  }
 
   void add_busy_seconds(double s);
   void add_backoff_seconds(double s);

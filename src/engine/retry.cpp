@@ -34,6 +34,10 @@ Time RetryPolicy::total_backoff(std::size_t attempts) const {
   return Time::seconds(total);
 }
 
+bool RetryPolicy::should_retry(const ErrorInfo& error) const {
+  return max_attempts > 1 && error.retryable();
+}
+
 RetryPolicy no_retry() {
   RetryPolicy policy;
   policy.max_attempts = 1;

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "common/expected.hpp"
 #include "common/units.hpp"
 
 namespace biosens::engine {
@@ -35,6 +36,13 @@ struct RetryPolicy {
   /// Total simulated delay accumulated by a job that ran
   /// `attempts` measurements.
   [[nodiscard]] Time total_backoff(std::size_t attempts) const;
+
+  /// Whether a structured attempt failure deserves a re-measurement.
+  /// Transient faults (numerics, QC rejection) are worth retrying; a
+  /// spec fault is deterministic — re-measuring the same bad request
+  /// would burn the whole retry budget producing the same error, so the
+  /// engine stops immediately. Delegates to ErrorInfo::retryable().
+  [[nodiscard]] bool should_retry(const ErrorInfo& error) const;
 };
 
 /// A policy that never retries (one attempt, no delay).

@@ -7,9 +7,14 @@
 
 namespace biosens::readout {
 
-SignalChain::SignalChain(ChainConfig config) : config_(std::move(config)) {
-  require<SpecError>(config_.smoothing_window >= 1,
-                     "smoothing window must be >= 1");
+SignalChain::SignalChain(ChainConfig config)
+    : SignalChain(try_create(std::move(config)).value_or_throw()) {}
+
+Expected<SignalChain> SignalChain::try_create(ChainConfig config) {
+  BIOSENS_EXPECT(config.smoothing_window >= 1, ErrorCode::kSpec,
+                 Layer::kReadout, "chain config",
+                 "smoothing window must be >= 1");
+  return SignalChain(std::move(config), Unchecked{});
 }
 
 Current SignalChain::full_scale() const { return config_.tia.full_scale(); }
@@ -17,9 +22,20 @@ Current SignalChain::full_scale() const { return config_.tia.full_scale(); }
 electrochem::TimeSeries SignalChain::acquire(
     const electrochem::TimeSeries& ideal, const NoiseSpec& noise,
     Rng& rng) const {
-  require<AnalysisError>(ideal.size() >= 2, "trace too short to acquire");
+  return try_acquire(ideal, noise, rng).value_or_throw();
+}
+
+Expected<electrochem::TimeSeries> SignalChain::try_acquire(
+    const electrochem::TimeSeries& ideal, const NoiseSpec& noise,
+    Rng& rng) const {
+  if (auto v = ideal.try_validate(); !v) {
+    return ctx("acquire", Expected<electrochem::TimeSeries>(v.error()));
+  }
+  BIOSENS_EXPECT(ideal.size() >= 2, ErrorCode::kAnalysis, Layer::kReadout,
+                 "acquire", "trace too short to acquire");
   const double dt = ideal.time_s[1] - ideal.time_s[0];
-  require<AnalysisError>(dt > 0.0, "trace must be uniformly sampled");
+  BIOSENS_EXPECT(dt > 0.0, ErrorCode::kAnalysis, Layer::kReadout, "acquire",
+                 "trace must be uniformly sampled");
   const Frequency fs = Frequency::hertz(1.0 / dt);
 
   NoiseGenerator gen(noise, fs, rng.split());
@@ -45,8 +61,17 @@ electrochem::TimeSeries SignalChain::acquire(
 electrochem::Voltammogram SignalChain::acquire(
     const electrochem::Voltammogram& ideal, const NoiseSpec& noise,
     Rng& rng) const {
-  require<AnalysisError>(ideal.size() >= 2,
-                         "voltammogram too short to acquire");
+  return try_acquire(ideal, noise, rng).value_or_throw();
+}
+
+Expected<electrochem::Voltammogram> SignalChain::try_acquire(
+    const electrochem::Voltammogram& ideal, const NoiseSpec& noise,
+    Rng& rng) const {
+  if (auto v = ideal.try_validate(); !v) {
+    return ctx("acquire", Expected<electrochem::Voltammogram>(v.error()));
+  }
+  BIOSENS_EXPECT(ideal.size() >= 2, ErrorCode::kAnalysis, Layer::kReadout,
+                 "acquire", "voltammogram too short to acquire");
   // Sweeps are slow; treat each point as settled (no band-limit state).
   NoiseGenerator gen(noise, Frequency::hertz(100.0), rng.split());
   MovingAverage smooth(config_.smoothing_window);
@@ -81,8 +106,13 @@ double SignalChain::measurement_noise_rms_a(const NoiseSpec& noise,
 }
 
 ChainConfig SignalChain::for_full_scale(Current max_expected) {
-  require<SpecError>(max_expected.amps() > 0.0,
-                     "expected maximum must be positive");
+  return try_for_full_scale(max_expected).value_or_throw();
+}
+
+Expected<ChainConfig> SignalChain::try_for_full_scale(Current max_expected) {
+  BIOSENS_EXPECT(max_expected.amps() > 0.0, ErrorCode::kSpec,
+                 Layer::kReadout, "autorange",
+                 "expected maximum must be positive");
   const Potential rail = Potential::volts(1.2);
   // Decade gains from 10 kohm to 100 Mohm; choose the largest gain whose
   // full scale still leaves 40% headroom above the expected maximum.

@@ -11,8 +11,18 @@ namespace biosens::transport {
 
 CurrentDensity cottrell_current_density(int electrons, Diffusivity d,
                                         Concentration bulk, Time t) {
-  require<NumericsError>(t.seconds() > 0.0, "Cottrell time must be > 0");
-  require<SpecError>(electrons > 0, "electron count must be positive");
+  return try_cottrell_current_density(electrons, d, bulk, t)
+      .value_or_throw();
+}
+
+Expected<CurrentDensity> try_cottrell_current_density(int electrons,
+                                                      Diffusivity d,
+                                                      Concentration bulk,
+                                                      Time t) {
+  BIOSENS_EXPECT(t.seconds() > 0.0, ErrorCode::kNumerics, Layer::kTransport,
+                 "cottrell", "Cottrell time must be > 0");
+  BIOSENS_EXPECT(electrons > 0, ErrorCode::kSpec, Layer::kTransport,
+                 "cottrell", "electron count must be positive");
   const double j = electrons * constants::kFaraday * bulk.milli_molar() *
                    std::sqrt(d.m2_per_s() / (std::numbers::pi * t.seconds()));
   return CurrentDensity::amps_per_m2(j);
@@ -20,8 +30,18 @@ CurrentDensity cottrell_current_density(int electrons, Diffusivity d,
 
 CurrentDensity limiting_current_density(int electrons, Diffusivity d,
                                         Concentration bulk, double delta_m) {
-  require<NumericsError>(delta_m > 0.0, "layer thickness must be > 0");
-  require<SpecError>(electrons > 0, "electron count must be positive");
+  return try_limiting_current_density(electrons, d, bulk, delta_m)
+      .value_or_throw();
+}
+
+Expected<CurrentDensity> try_limiting_current_density(int electrons,
+                                                      Diffusivity d,
+                                                      Concentration bulk,
+                                                      double delta_m) {
+  BIOSENS_EXPECT(delta_m > 0.0, ErrorCode::kNumerics, Layer::kTransport,
+                 "limiting current", "layer thickness must be > 0");
+  BIOSENS_EXPECT(electrons > 0, ErrorCode::kSpec, Layer::kTransport,
+                 "limiting current", "electron count must be positive");
   const double j = electrons * constants::kFaraday * d.m2_per_s() *
                    bulk.milli_molar() / delta_m;
   return CurrentDensity::amps_per_m2(j);

@@ -1,5 +1,5 @@
-// The batch engine: pool lifecycle, backpressure, exceptions, retry,
-// affinity serialization, metrics.
+// The batch engine: pool lifecycle, backpressure, structured job
+// errors, retry, affinity serialization, metrics.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -134,19 +134,100 @@ TEST(Engine, SerialModeRunsInlineWithoutAPool) {
   EXPECT_EQ(reports[1].index, 1u);
 }
 
-TEST(BatchRunner, ExceptionAbortsBatchAndLowestIndexWins) {
+TEST(BatchRunner, JobFailuresNeverAbortTheBatch) {
   Engine engine(EngineOptions{.workers = 4, .queue_capacity = 16});
   std::vector<JobSpec> jobs(10);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     jobs[i].name = "job-" + std::to_string(i);
-    jobs[i].body = [i](JobContext&) -> bool {
-      if (i == 3) throw AnalysisError("bad job 3");
-      if (i == 7) throw NumericsError("bad job 7");
+    jobs[i].body = [i](JobContext&) -> Expected<bool> {
+      if (i == 3) {
+        return make_error(ErrorCode::kAnalysis, Layer::kAnalysis, "peaks",
+                          "bad job 3");
+      }
+      if (i == 7) throw NumericsError("bad job 7");  // legacy body
       return true;
     };
   }
-  // Job 3's exception must be the one rethrown, whatever finishes first.
-  EXPECT_THROW(engine.run(jobs), AnalysisError);
+  // Every other job runs to completion; each failure sits on its own
+  // report as a structured error instead of unwinding through the pool.
+  const auto reports = engine.run(jobs, BatchOptions{.retry = no_retry()});
+  ASSERT_EQ(reports.size(), 10u);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i == 3 || i == 7) continue;
+    EXPECT_TRUE(reports[i].accepted) << i;
+    EXPECT_FALSE(reports[i].error.has_value()) << i;
+  }
+  ASSERT_TRUE(reports[3].error.has_value());
+  EXPECT_EQ(reports[3].error->code, ErrorCode::kAnalysis);
+  EXPECT_EQ(reports[3].error->layer, Layer::kAnalysis);
+  // The thrown legacy exception was classified at the engine boundary.
+  ASSERT_TRUE(reports[7].error.has_value());
+  EXPECT_EQ(reports[7].error->code, ErrorCode::kNumerics);
+  EXPECT_EQ(reports[7].error->layer, Layer::kEngine);
+  EXPECT_EQ(reports[7].error->stage, "job-7");
+}
+
+TEST(BatchRunner, FatalErrorsStopBurningRetryBudget) {
+  Engine engine;
+  std::atomic<int> spec_calls{0};
+  std::atomic<int> numerics_calls{0};
+  std::vector<JobSpec> jobs(2);
+  jobs[0].name = "bad-spec";
+  jobs[0].body = [&](JobContext&) -> Expected<bool> {
+    spec_calls.fetch_add(1);
+    return make_error(ErrorCode::kSpec, Layer::kChem, "kinetics",
+                      "k_cat must be positive");
+  };
+  jobs[1].name = "noisy-fit";
+  jobs[1].body = [&](JobContext&) -> Expected<bool> {
+    numerics_calls.fetch_add(1);
+    return make_error(ErrorCode::kNumerics, Layer::kAnalysis, "fit",
+                      "did not converge");
+  };
+
+  BatchOptions options;
+  options.retry.max_attempts = 4;
+  const auto reports = engine.run(jobs, options);
+
+  // The deterministic spec fault fails once; re-measuring it would
+  // reproduce the same error, so the engine stops immediately. The
+  // transient numerics fault is worth the full budget.
+  EXPECT_EQ(spec_calls.load(), 1);
+  EXPECT_EQ(numerics_calls.load(), 4);
+  EXPECT_EQ(reports[0].attempts, 1u);
+  EXPECT_EQ(reports[1].attempts, 4u);
+  EXPECT_FALSE(reports[0].accepted);
+  EXPECT_FALSE(reports[1].accepted);
+
+  // Failures are counted per error code.
+  const MetricsSnapshot snapshot = engine.snapshot();
+  EXPECT_EQ(
+      snapshot.failures_by_code[static_cast<std::size_t>(ErrorCode::kSpec)],
+      1u);
+  EXPECT_EQ(snapshot.failures_by_code[static_cast<std::size_t>(
+                ErrorCode::kNumerics)],
+            1u);
+  EXPECT_EQ(snapshot.jobs_failed, 2u);
+}
+
+TEST(BatchRunner, RetryableErrorClearedBySuccessLeavesACleanReport) {
+  Engine engine;
+  std::vector<JobSpec> jobs(1);
+  jobs[0].name = "recovers";
+  jobs[0].body = [](JobContext& ctx) -> Expected<bool> {
+    if (ctx.attempt == 0) {
+      return make_error(ErrorCode::kNumerics, Layer::kElectrochem,
+                        "solver", "transient divergence");
+    }
+    return true;
+  };
+  BatchOptions options;
+  options.retry.max_attempts = 3;
+  const auto reports = engine.run(jobs, options);
+  EXPECT_TRUE(reports[0].accepted);
+  EXPECT_EQ(reports[0].attempts, 2u);
+  EXPECT_FALSE(reports[0].error.has_value());
+  EXPECT_EQ(engine.snapshot().jobs_failed, 0u);
 }
 
 TEST(BatchRunner, JobWithoutBodyIsRejectedUpFront) {
@@ -188,6 +269,12 @@ TEST(BatchRunner, RetryExhaustionReportsFailureWithoutThrowing) {
   EXPECT_FALSE(reports[0].accepted);
   EXPECT_EQ(reports[0].attempts, 4u);
   EXPECT_EQ(engine.metrics().jobs_failed.value(), 1u);
+  // Pure QC exhaustion carries no structured fault but still lands in
+  // the per-code failure counters under kQcReject.
+  EXPECT_FALSE(reports[0].error.has_value());
+  EXPECT_EQ(engine.snapshot().failures_by_code[static_cast<std::size_t>(
+                ErrorCode::kQcReject)],
+            1u);
 }
 
 TEST(BatchRunner, EachAttemptGetsItsOwnDeterministicStream) {
@@ -282,8 +369,10 @@ TEST(Metrics, SnapshotRendersAsTable) {
   registry.attempt_latency.record(0.010);
   const Table table = registry.snapshot(1.0).to_table();
   EXPECT_EQ(table.columns(), 2u);
-  EXPECT_EQ(table.rows(), 14u);
+  EXPECT_EQ(table.rows(), 19u);  // 14 base + one row per error code
   EXPECT_NE(table.to_markdown().find("jobs_submitted"), std::string::npos);
+  EXPECT_NE(table.to_markdown().find("failed_spec"), std::string::npos);
+  EXPECT_NE(table.to_markdown().find("failed_qc-reject"), std::string::npos);
 }
 
 TEST(Metrics, HistogramQuantilesAreOrderedAndApproximate) {
@@ -358,9 +447,12 @@ TEST(Job, ReportsRenderAsTable) {
   reports[0].accepted = true;
   reports[1].index = 1;
   reports[1].name = "panel-1";
+  reports[1].error = make_error(ErrorCode::kSpec, Layer::kChem, "kinetics",
+                                "k_m must be positive");
   const Table table = jobs_table(reports);
   EXPECT_EQ(table.rows(), 2u);
   EXPECT_NE(table.to_csv().find("panel-assay"), std::string::npos);
+  EXPECT_NE(table.to_csv().find("[chem/kinetics]"), std::string::npos);
 }
 
 }  // namespace
