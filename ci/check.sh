@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
 # CI gate: exception-discipline lint, Release build + full test suite,
 # a ThreadSanitizer build of the concurrency-bearing tests to catch data
-# races in the engine's worker pool, and an UndefinedBehaviorSanitizer
-# build of the error-path tests. Run from the repository root:
+# races in the engine's worker pool, an UndefinedBehaviorSanitizer build
+# of the error-path tests, and a perf smoke of the hot simulation
+# kernels against the committed BENCH_sim.json baseline. Run from the
+# repository root:
 #
 #   ci/check.sh            # everything
 #   ci/check.sh lint       # throw-discipline lint only
 #   ci/check.sh release    # Release + ctest only
 #   ci/check.sh tsan       # TSan engine tests only
 #   ci/check.sh ubsan      # UBSan error-path tests only
+#   ci/check.sh perf       # solver step-rate smoke only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +19,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 STAGE="${1:-all}"
 
 run_lint() {
-  echo "=== [1/4] Lint: no 'throw' outside the error/expected headers ==="
+  echo "=== [1/5] Lint: no 'throw' outside the error/expected headers ==="
   # The Expected<T> refactor confines throw statements to the public
   # convenience boundary: common/error.hpp (require<>, the exception
   # types) and common/expected.hpp (value_or_throw / ErrorInfo::raise).
@@ -37,14 +40,14 @@ run_lint() {
 }
 
 run_release() {
-  echo "=== [2/4] Release build + full test suite ==="
+  echo "=== [2/5] Release build + full test suite ==="
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci -j "${JOBS}"
   ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 }
 
 run_tsan() {
-  echo "=== [3/4] ThreadSanitizer: engine tests ==="
+  echo "=== [3/5] ThreadSanitizer: engine tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=thread
@@ -56,7 +59,7 @@ run_tsan() {
 }
 
 run_ubsan() {
-  echo "=== [4/4] UndefinedBehaviorSanitizer: error-path tests ==="
+  echo "=== [4/5] UndefinedBehaviorSanitizer: error-path tests ==="
   cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=undefined
@@ -67,12 +70,46 @@ run_ubsan() {
     --output-on-failure
 }
 
+run_perf() {
+  echo "=== [5/5] Perf smoke: solver step rate vs BENCH_sim.json ==="
+  # A reduced-configuration run of the kernel bench (BIOSENS_SMOKE=1
+  # shrinks the step/patient counts and skips the google-benchmark
+  # timings; the per-step rate it prints is comparable to the full
+  # run). Fails when the measured solver step rate regresses more than
+  # 30% below the committed baseline — or on any byte-identity
+  # violation, which exits the bench nonzero on its own.
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "${JOBS}" --target bench_sim_kernels
+  out="$(BIOSENS_SMOKE=1 ./build-ci/bench/bench_sim_kernels)"
+  printf '%s\n' "${out}"
+  current="$(printf '%s\n' "${out}" \
+    | sed -n 's/^solver_steps_per_sec_after=\([0-9.]*\)$/\1/p')"
+  baseline="$(sed -n \
+    's/.*"steps_per_sec_after": \([0-9.]*\).*/\1/p' BENCH_sim.json \
+    | head -n 1)"
+  if [ -z "${current}" ] || [ -z "${baseline}" ]; then
+    echo "perf smoke: could not parse step rates" >&2
+    echo "  (bench printed '${current:-?}', baseline '${baseline:-?}')" >&2
+    exit 1
+  fi
+  awk -v cur="${current}" -v base="${baseline}" 'BEGIN {
+    floor = 0.70 * base;
+    printf "perf smoke: %.0f steps/s vs baseline %.0f (floor %.0f)\n",
+           cur, base, floor;
+    exit (cur >= floor) ? 0 : 1;
+  }' || {
+    echo "perf smoke: solver step rate regressed more than 30%" >&2
+    exit 1
+  }
+}
+
 case "${STAGE}" in
   lint)    run_lint ;;
   release) run_release ;;
   tsan)    run_tsan ;;
   ubsan)   run_ubsan ;;
-  all)     run_lint; run_release; run_tsan; run_ubsan ;;
-  *) echo "usage: ci/check.sh [lint|release|tsan|ubsan|all]" >&2; exit 2 ;;
+  perf)    run_perf ;;
+  all)     run_lint; run_release; run_tsan; run_ubsan; run_perf ;;
+  *) echo "usage: ci/check.sh [lint|release|tsan|ubsan|perf|all]" >&2; exit 2 ;;
 esac
 echo "CI checks passed."

@@ -11,34 +11,12 @@ std::vector<double> solve_tridiagonal(std::span<const double> lower,
                                       std::span<const double> diag,
                                       std::span<const double> upper,
                                       std::span<const double> rhs) {
-  const std::size_t n = diag.size();
-  require<NumericsError>(n >= 1, "tridiagonal system must be non-empty");
-  require<NumericsError>(lower.size() == n - 1 && upper.size() == n - 1 &&
-                             rhs.size() == n,
+  require<NumericsError>(rhs.size() == diag.size(),
                          "tridiagonal system size mismatch");
-
-  std::vector<double> c_prime(n, 0.0);
-  std::vector<double> d_prime(n, 0.0);
-
-  double pivot = diag[0];
-  require<NumericsError>(std::abs(pivot) > 1e-300,
-                         "singular tridiagonal pivot");
-  c_prime[0] = (n > 1) ? upper[0] / pivot : 0.0;
-  d_prime[0] = rhs[0] / pivot;
-
-  for (std::size_t i = 1; i < n; ++i) {
-    pivot = diag[i] - lower[i - 1] * c_prime[i - 1];
-    require<NumericsError>(std::abs(pivot) > 1e-300,
-                           "singular tridiagonal pivot");
-    if (i < n - 1) c_prime[i] = upper[i] / pivot;
-    d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / pivot;
-  }
-
-  std::vector<double> x(n, 0.0);
-  x[n - 1] = d_prime[n - 1];
-  for (std::size_t i = n - 1; i-- > 0;) {
-    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
-  }
+  TridiagonalFactorization factorization;
+  factorization.factor(lower, diag, upper);
+  std::vector<double> x(diag.size(), 0.0);
+  factorization.solve(rhs, x);
   return x;
 }
 
@@ -75,29 +53,6 @@ double interp1(std::span<const double> xs, std::span<const double> ys,
   const std::size_t lo = hi - 1;
   const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
   return ys[lo] + t * (ys[hi] - ys[lo]);
-}
-
-double bisect(const std::function<double(double)>& f, double lo, double hi,
-              double tol, int max_iter) {
-  require<NumericsError>(lo < hi, "bisect: invalid bracket");
-  double flo = f(lo);
-  double fhi = f(hi);
-  if (flo == 0.0) return lo;
-  if (fhi == 0.0) return hi;
-  require<NumericsError>(flo * fhi < 0.0,
-                         "bisect: no sign change over bracket");
-  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    const double fmid = f(mid);
-    if (fmid == 0.0) return mid;
-    if (flo * fmid < 0.0) {
-      hi = mid;
-    } else {
-      lo = mid;
-      flo = fmid;
-    }
-  }
-  return 0.5 * (lo + hi);
 }
 
 bool approx_equal(double a, double b, double rtol, double atol) {

@@ -94,7 +94,8 @@ PanelReport Platform::assay(const chem::Sample& sample, Rng& rng) const {
 }
 
 Expected<PanelReport> Platform::try_assay(const chem::Sample& sample,
-                                          Rng& rng) const {
+                                          Rng& rng,
+                                          engine::SimCache* cache) const {
   BIOSENS_EXPECT(calibrated(), ErrorCode::kSpec, Layer::kCore, "assay panel",
                  "calibrate_all() before assay()");
 
@@ -109,7 +110,7 @@ Expected<PanelReport> Platform::try_assay(const chem::Sample& sample,
     AssayResult r;
     r.target = sensor.spec().target;
     r.sensor_name = sensor.spec().name;
-    auto measured = sensor.try_measure(sample, rng);
+    auto measured = sensor.try_measure(sample, rng, cache);
     if (!measured) {
       return ctx("assay panel", Expected<PanelReport>(measured.error()));
     }
@@ -142,6 +143,12 @@ PanelBatchResult Platform::run_panel_batch(
   result.reports.resize(samples.size());
   const Time panel_time = scheduled_panel_time();
 
+  // The engine's simulation cache (null when disabled) is shared across
+  // every job of the batch; it only short-circuits deterministic
+  // simulation stages, so batch results stay byte-identical with the
+  // cache on or off and for any worker count.
+  engine::SimCache* cache = engine.sim_cache();
+
   std::vector<engine::JobSpec> jobs;
   jobs.reserve(samples.size());
   for (std::size_t i = 0; i < samples.size(); ++i) {
@@ -152,8 +159,8 @@ PanelBatchResult Platform::run_panel_batch(
     if (options.instruments > 0) {
       job.affinity = i % options.instruments;
     }
-    job.body = [this, &samples, &result, i](engine::JobContext& jc) {
-      auto report = try_assay(samples[i], jc.rng);
+    job.body = [this, &samples, &result, cache, i](engine::JobContext& jc) {
+      auto report = try_assay(samples[i], jc.rng, cache);
       if (!report) {
         return ctx("panel batch", Expected<bool>(report.error()));
       }

@@ -112,9 +112,12 @@ class Platform {
   /// Expected-returning counterpart of assay(): a measurement failure on
   /// any sensor surfaces as the structured error of the whole panel,
   /// with an "assay panel" context frame — no exceptions cross the core
-  /// boundary.
-  [[nodiscard]] Expected<PanelReport> try_assay(const chem::Sample& sample,
-                                                Rng& rng) const;
+  /// boundary. A non-null `cache` memoizes each sensor's deterministic
+  /// pre-noise simulation stage (see BiosensorModel::try_measure);
+  /// results are byte-identical with or without it.
+  [[nodiscard]] Expected<PanelReport> try_assay(
+      const chem::Sample& sample, Rng& rng,
+      engine::SimCache* cache = nullptr) const;
 
   /// Assays a whole batch of samples on the engine — the service entry
   /// point. One panel-assay job per sample; reports come back in sample

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <utility>
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
@@ -86,8 +90,80 @@ Measurement BiosensorModel::measure(const chem::Sample& sample,
   return try_measure(sample, rng).value_or_throw();
 }
 
-Expected<Measurement> BiosensorModel::try_measure(const chem::Sample& sample,
-                                                  Rng& rng) const {
+engine::CacheKey BiosensorModel::simulation_key(
+    const chem::Sample& sample) const {
+  engine::CacheKey key;
+
+  // Spec identity + protocol parameters.
+  key.add(std::string_view(spec_.name));
+  key.add(std::string_view(spec_.citation));
+  key.add(std::string_view(spec_.target));
+  key.add(static_cast<std::int64_t>(spec_.technique));
+  key.add(spec_.ca_step_potential.volts());
+  key.add(spec_.ca_hold.seconds());
+  key.add(spec_.cv_scan_rate.volts_per_second());
+  key.add(spec_.cv_start.volts());
+  key.add(spec_.cv_vertex.volts());
+
+  // The synthesized layer — every assembly field that reaches the
+  // physics is folded into these (synthesize() is deterministic).
+  key.add(std::string_view(layer_.substrate));
+  key.add(layer_.substrate_diffusivity.m2_per_s());
+  key.add(layer_.wired_coverage.mol_per_m2());
+  key.add(layer_.k_cat_app.per_second());
+  key.add(layer_.k_m_app.molar());
+  key.add(static_cast<std::int64_t>(layer_.electrons));
+  key.add(layer_.geometric_area.square_meters());
+  key.add(static_cast<std::int64_t>(layer_.working_material));
+  key.add(layer_.double_layer.farads());
+  key.add(layer_.blank_noise_rms.amps());
+  key.add(layer_.electron_transfer_rate.per_second());
+  key.add(layer_.formal_potential.volts());
+  key.add(layer_.solution_resistance.ohms());
+  key.add(layer_.area_enhancement);
+  key.add(layer_.interferent_transmission);
+  key.add(layer_.environment.oxygen_km.molar());
+  key.add(layer_.environment.ph_optimum);
+  key.add(layer_.environment.ph_width);
+  key.add(layer_.environment.activation_energy_kj_mol);
+  key.add(static_cast<std::uint64_t>(layer_.secondary.size()));
+  for (const electrode::CrossActivity& s : layer_.secondary) {
+    key.add(std::string_view(s.substrate));
+    key.add(s.diffusivity.m2_per_s());
+    key.add(s.k_cat.per_second());
+    key.add(s.k_m_app.molar());
+    key.add(static_cast<std::int64_t>(s.electrons));
+  }
+
+  // Numerical / protocol options the simulators read.
+  key.add(options_.hydrodynamics.stirred);
+  key.add(options_.hydrodynamics.stir_rate_rpm);
+  key.add(options_.chrono.duration.seconds());
+  key.add(options_.chrono.dt.seconds());
+  key.add(static_cast<std::uint64_t>(options_.chrono.grid_nodes));
+  key.add(options_.chrono.include_capacitive);
+  key.add(options_.chrono.include_interferents);
+  key.add(static_cast<std::uint64_t>(options_.voltammetry.points_per_sweep));
+  key.add(options_.voltammetry.include_capacitive);
+  key.add(options_.voltammetry.include_interferents);
+
+  // The sample: buffer, oxygenation, and the sorted composition map.
+  key.add(std::string_view(sample.buffer().name));
+  key.add(sample.buffer().ph);
+  key.add(sample.buffer().ionic_strength.molar());
+  key.add(sample.buffer().temperature.kelvin());
+  key.add(sample.dissolved_oxygen().molar());
+  const std::vector<std::string> species = sample.species_names();
+  key.add(static_cast<std::uint64_t>(species.size()));
+  for (const std::string& name : species) {
+    key.add(std::string_view(name));
+    key.add(sample.concentration_of(name).molar());
+  }
+  return key;
+}
+
+Expected<Measurement> BiosensorModel::try_measure(
+    const chem::Sample& sample, Rng& rng, engine::SimCache* cache) const {
   const std::string frame = "measure " + spec_.name;
   if (auto v = chem::try_validate_species(sample); !v) {
     return ctx(frame, Expected<Measurement>(v.error()));
@@ -96,22 +172,36 @@ Expected<Measurement> BiosensorModel::try_measure(const chem::Sample& sample,
   Measurement m;
   m.technique = spec_.technique;
 
+  // The simulation cache memoizes only this deterministic pre-noise
+  // stage; every noisy stage below it still consumes `rng`, so results
+  // are byte-identical whether a key hits, misses, or no cache exists.
+  engine::CacheKey key;
+  if (cache != nullptr) key = simulation_key(sample);
+
   if (spec_.technique == Technique::kChronoamperometry) {
-    electrochem::ChronoOptions chrono = options_.chrono;
-    chrono.duration = spec_.ca_hold;
-    const electrochem::PotentialStep step(Potential::volts(0.0),
-                                          spec_.ca_step_potential,
-                                          spec_.ca_hold);
-    const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
-                                                chrono);
-    auto ideal = sim.try_run();
-    if (!ideal) return ctx(frame, Expected<Measurement>(ideal.error()));
-    auto chain = try_autoranged_chain(
-        ideal.value().current_a, layer_.blank_noise_rms,
-        options_.smoothing_window);
+    std::shared_ptr<const electrochem::TimeSeries> ideal;
+    if (cache != nullptr) ideal = cache->find_as<electrochem::TimeSeries>(key);
+    if (!ideal) {
+      electrochem::ChronoOptions chrono = options_.chrono;
+      chrono.duration = spec_.ca_hold;
+      const electrochem::PotentialStep step(Potential::volts(0.0),
+                                            spec_.ca_step_potential,
+                                            spec_.ca_hold);
+      const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
+                                                  chrono);
+      auto run = sim.try_run();
+      if (!run) return ctx(frame, Expected<Measurement>(run.error()));
+      ideal = cache != nullptr
+                  ? cache->put<electrochem::TimeSeries>(
+                        key, std::move(run).value())
+                  : std::make_shared<const electrochem::TimeSeries>(
+                        std::move(run).value());
+    }
+    auto chain = try_autoranged_chain(ideal->current_a,
+                                      layer_.blank_noise_rms,
+                                      options_.smoothing_window);
     if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
-    auto acquired =
-        chain.value().try_acquire(ideal.value(), noise_spec(), rng);
+    auto acquired = chain.value().try_acquire(*ideal, noise_spec(), rng);
     if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
     m.trace = std::move(acquired).value();
     auto tail = m.trace.try_tail_mean_a(0.1);
@@ -121,13 +211,20 @@ Expected<Measurement> BiosensorModel::try_measure(const chem::Sample& sample,
   }
 
   if (spec_.technique == Technique::kDifferentialPulseVoltammetry) {
-    const electrochem::DifferentialPulseSim sim(
-        make_cell(sample), electrochem::standard_cyp_dpv());
-    auto ideal_result = sim.try_run();
-    if (!ideal_result) {
-      return ctx(frame, Expected<Measurement>(ideal_result.error()));
+    std::shared_ptr<const electrochem::DpvTrace> cached;
+    if (cache != nullptr) cached = cache->find_as<electrochem::DpvTrace>(key);
+    if (!cached) {
+      const electrochem::DifferentialPulseSim sim(
+          make_cell(sample), electrochem::standard_cyp_dpv());
+      auto run = sim.try_run();
+      if (!run) return ctx(frame, Expected<Measurement>(run.error()));
+      cached = cache != nullptr
+                   ? cache->put<electrochem::DpvTrace>(key,
+                                                       std::move(run).value())
+                   : std::make_shared<const electrochem::DpvTrace>(
+                         std::move(run).value());
     }
-    const electrochem::DpvTrace& ideal = ideal_result.value();
+    const electrochem::DpvTrace& ideal = *cached;
 
     // The pulse/base subtraction happens inside one staircase step, so
     // only the part of the low-frequency background that decorrelates
@@ -162,17 +259,26 @@ Expected<Measurement> BiosensorModel::try_measure(const chem::Sample& sample,
     return m;
   }
 
-  const electrochem::CyclicSweep sweep(spec_.cv_start, spec_.cv_vertex,
-                                       spec_.cv_scan_rate);
-  const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
-                                        options_.voltammetry);
-  auto ideal = sim.try_run();
-  if (!ideal) return ctx(frame, Expected<Measurement>(ideal.error()));
-  auto chain = try_autoranged_chain(ideal.value().current_a,
+  std::shared_ptr<const electrochem::Voltammogram> ideal;
+  if (cache != nullptr) ideal = cache->find_as<electrochem::Voltammogram>(key);
+  if (!ideal) {
+    const electrochem::CyclicSweep sweep(spec_.cv_start, spec_.cv_vertex,
+                                         spec_.cv_scan_rate);
+    const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
+                                          options_.voltammetry);
+    auto run = sim.try_run();
+    if (!run) return ctx(frame, Expected<Measurement>(run.error()));
+    ideal = cache != nullptr
+                ? cache->put<electrochem::Voltammogram>(key,
+                                                        std::move(run).value())
+                : std::make_shared<const electrochem::Voltammogram>(
+                      std::move(run).value());
+  }
+  auto chain = try_autoranged_chain(ideal->current_a,
                                     layer_.blank_noise_rms,
                                     options_.smoothing_window);
   if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
-  auto acquired = chain.value().try_acquire(ideal.value(), noise_spec(), rng);
+  auto acquired = chain.value().try_acquire(*ideal, noise_spec(), rng);
   if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
   m.voltammogram = std::move(acquired).value();
   auto peak = analysis::try_find_cathodic_peak(m.voltammogram);

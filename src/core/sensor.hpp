@@ -20,6 +20,7 @@
 #include "electrochem/dpv.hpp"
 #include "electrochem/trace.hpp"
 #include "electrochem/voltammetry.hpp"
+#include "engine/sim_cache.hpp"
 #include "readout/chain.hpp"
 
 namespace biosens::core {
@@ -60,8 +61,24 @@ class BiosensorModel {
   /// acquisition, trace reduction) reports through the returned Expected
   /// with a "measure <sensor>" context frame — no exceptions cross the
   /// core boundary.
-  [[nodiscard]] Expected<Measurement> try_measure(const chem::Sample& sample,
-                                                  Rng& rng) const;
+  ///
+  /// When `cache` is non-null the deterministic pre-noise stage (the
+  /// ideal trace / voltammogram / DPV staircase) is memoized under
+  /// simulation_key(); the noisy readout still draws from `rng`, so the
+  /// returned Measurement is byte-identical with the cache on or off.
+  [[nodiscard]] Expected<Measurement> try_measure(
+      const chem::Sample& sample, Rng& rng,
+      engine::SimCache* cache = nullptr) const;
+
+  /// Canonical content hash of everything the deterministic simulation
+  /// stage reads: the spec identity and protocol parameters, the
+  /// synthesized layer (which folds in every assembly field that reaches
+  /// the physics), the numerical options, and the sample composition.
+  /// Two sensors/samples collide only if the ideal simulation output is
+  /// identical. Readout-only knobs (smoothing window, noise) are
+  /// deliberately excluded — they act after the cached stage.
+  [[nodiscard]] engine::CacheKey simulation_key(
+      const chem::Sample& sample) const;
 
   /// Noiseless response (physics only, no readout) — the deterministic
   /// backbone used by inverse design and fast sweeps.

@@ -77,8 +77,8 @@ Current Cell::interferent_current(Potential applied) const {
   return try_interferent_current(applied).value_or_throw();
 }
 
-Expected<Current> Cell::try_interferent_current(Potential applied) const {
-  double total = 0.0;
+Expected<std::vector<InterferentTerm>> Cell::try_interferent_terms() const {
+  std::vector<InterferentTerm> terms;
   const double delta = layer_thickness_m(Time::seconds(30.0));
   for (const std::string& name : sample_.species_names()) {
     const auto onset = oxidation_onset(name);
@@ -87,18 +87,34 @@ Expected<Current> Cell::try_interferent_current(Potential applied) const {
     if (c.milli_molar() <= 0.0) continue;
     auto species = chem::try_species(name);
     if (!species) {
-      return ctx("interferent current", Expected<Current>(species.error()));
+      return ctx("interferent current",
+                 Expected<std::vector<InterferentTerm>>(species.error()));
     }
     const chem::Species& sp = *species.value();
     const CurrentDensity j_lim = transport::limiting_current_density(
         oxidation_electrons(name), sp.diffusivity, c, delta);
-    const double gate =
-        1.0 /
-        (1.0 + std::exp(-(applied.volts() - onset->volts()) / kOnsetWidthV));
-    total += j_lim.amps_per_m2() * gate;
+    terms.push_back({onset->volts(), j_lim.amps_per_m2()});
   }
-  return Current::amps(total * layer_.geometric_area.square_meters() *
-                       layer_.interferent_transmission);
+  return terms;
+}
+
+double Cell::interferent_current_amps(std::span<const InterferentTerm> terms,
+                                      double applied_v) const {
+  double total = 0.0;
+  for (const InterferentTerm& term : terms) {
+    const double gate =
+        1.0 / (1.0 + std::exp(-(applied_v - term.onset_v) / kOnsetWidthV));
+    total += term.limiting_density_a_per_m2 * gate;
+  }
+  return total * layer_.geometric_area.square_meters() *
+         layer_.interferent_transmission;
+}
+
+Expected<Current> Cell::try_interferent_current(Potential applied) const {
+  auto terms = try_interferent_terms();
+  if (!terms) return Expected<Current>(terms.error());
+  return Current::amps(
+      interferent_current_amps(terms.value(), applied.volts()));
 }
 
 Current Cell::capacitive_step_current(Potential delta,

@@ -8,7 +8,9 @@
 // the enzymatic simulators run in.
 #pragma once
 
+#include <span>
 #include <string_view>
+#include <vector>
 
 #include "chem/solution.hpp"
 #include "common/units.hpp"
@@ -20,6 +22,15 @@ namespace biosens::electrochem {
 struct Hydrodynamics {
   bool stirred = true;
   double stir_rate_rpm = 200.0;
+};
+
+/// One precomputed direct-oxidation interferent: its onset potential and
+/// diffusion-limited current density. The species/registry lookups are
+/// paid once building these; a sweep loop then evaluates pure arithmetic
+/// per point (see Cell::interferent_current_amps).
+struct InterferentTerm {
+  double onset_v = 0.0;
+  double limiting_density_a_per_m2 = 0.0;
 };
 
 /// A ready-to-measure cell.
@@ -39,6 +50,18 @@ class Cell {
   /// unknown sample species as structured chem-layer errors.
   [[nodiscard]] Expected<Current> try_interferent_current(
       Potential applied) const;
+
+  /// Precomputes the interferent terms once, so potential-sweep loops
+  /// can evaluate interferent_current_amps() per point without species
+  /// lookups or allocation. Terms are in sorted species order; the sum
+  /// over them reproduces try_interferent_current() bit-for-bit.
+  [[nodiscard]] Expected<std::vector<InterferentTerm>>
+  try_interferent_terms() const;
+
+  /// Gated interferent current [A] at `applied_v` from precomputed
+  /// terms — the allocation-free sweep-loop evaluator.
+  [[nodiscard]] double interferent_current_amps(
+      std::span<const InterferentTerm> terms, double applied_v) const;
 
   /// Double-layer charging transient after a potential step of height
   /// `delta`, at `since_step` after the edge: (dV/Rs) * exp(-t/(Rs*Cdl)).

@@ -115,22 +115,21 @@ Time ChronoamperometrySim::response_time_95() const {
   require<AnalysisError>(!trace.empty(), "empty trace");
   const double final_value = trace.tail_mean_a(0.05);
   if (std::abs(final_value) <= 0.0) return Time::seconds(0.0);
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    // Walk forward until the signal stays within 5% of the final value.
-    if (std::abs(trace.current_a[i] - final_value) <=
-        0.05 * std::abs(final_value)) {
-      bool stays = true;
-      for (std::size_t j = i; j < trace.size(); ++j) {
-        if (std::abs(trace.current_a[j] - final_value) >
-            0.05 * std::abs(final_value)) {
-          stays = false;
-          break;
-        }
-      }
-      if (stays) return Time::seconds(trace.time_s[i]);
+  // The answer is the first index from which the signal *stays* within
+  // 5% of the final value — i.e. one past the last excursion. A single
+  // reverse scan finds that last excursion; the old forward walk
+  // restarted an inner scan at every candidate (quadratic on noisy
+  // traces that brush the band repeatedly).
+  const double band = 0.05 * std::abs(final_value);
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    if (std::abs(trace.current_a[i] - final_value) > band) {
+      // Sample i is the last excursion; settled from i + 1 (or never,
+      // when the final sample itself is outside the band).
+      return Time::seconds(i + 1 < trace.size() ? trace.time_s[i + 1]
+                                                : trace.time_s.back());
     }
   }
-  return Time::seconds(trace.time_s.back());
+  return Time::seconds(trace.time_s.front());
 }
 
 }  // namespace biosens::electrochem

@@ -91,6 +91,15 @@ Expected<DpvTrace> DifferentialPulseSim::try_run() const {
                 std::exp(-t_pulse / tau)
           : 0.0;
 
+  // Hoist the interferent species/registry lookups out of the staircase
+  // loop (they were paid twice per step: pulse and base sample).
+  std::vector<InterferentTerm> interferent_terms;
+  if (options_.include_interferents) {
+    auto terms = cell_.try_interferent_terms();
+    if (!terms) return ctx("dpv", Expected<DpvTrace>(terms.error()));
+    interferent_terms = std::move(terms).value();
+  }
+
   DpvTrace trace;
   trace.sample_gap_s = t_pulse;
   const std::size_t steps = waveform_.step_count();
@@ -115,10 +124,9 @@ Expected<DpvTrace> DifferentialPulseSim::try_run() const {
     double delta = -(q_full / t_pulse + catalytic) * df;
     delta += cap_residue;
     if (options_.include_interferents) {
-      delta += cell_.interferent_current(
-                       Potential::volts(e_base + amp))
-                   .amps() -
-               cell_.interferent_current(Potential::volts(e_base)).amps();
+      delta +=
+          cell_.interferent_current_amps(interferent_terms, e_base + amp) -
+          cell_.interferent_current_amps(interferent_terms, e_base);
     }
     trace.potential_v.push_back(e_base);
     trace.delta_current_a.push_back(delta);

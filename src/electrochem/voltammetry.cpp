@@ -144,6 +144,17 @@ Expected<Voltammogram> VoltammetrySim::try_run() const {
   }
   catalytic *= activity.value();
 
+  // Hoist the interferent species/registry lookups out of the sweep
+  // loop: per point only the sigmoid gates are evaluated.
+  std::vector<InterferentTerm> interferent_terms;
+  if (options_.include_interferents) {
+    auto terms = cell_.try_interferent_terms();
+    if (!terms) {
+      return ctx("voltammetry", Expected<Voltammogram>(terms.error()));
+    }
+    interferent_terms = std::move(terms).value();
+  }
+
   const Time half = waveform_.half_period();
   const std::size_t per_sweep = options_.points_per_sweep;
 
@@ -166,7 +177,7 @@ Expected<Voltammogram> VoltammetrySim::try_run() const {
       i += cell_.capacitive_sweep_current(slope).amps();
     }
     if (options_.include_interferents) {
-      i += cell_.interferent_current(e).amps();
+      i += cell_.interferent_current_amps(interferent_terms, e.volts());
     }
     if (cathodic_sweep) {
       const double x = n * f_over_rt * (e.volts() - e_cathodic);

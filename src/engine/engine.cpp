@@ -11,6 +11,11 @@ Engine::Engine(EngineOptions options) : options_(options) {
     pool_ = std::make_unique<ThreadPool>(options_.workers,
                                          options_.queue_capacity);
   }
+  if (options_.sim_cache_capacity > 0) {
+    SimCacheOptions cache_options;
+    cache_options.capacity = options_.sim_cache_capacity;
+    sim_cache_ = std::make_unique<SimCache>(cache_options, &metrics_);
+  }
 }
 
 std::vector<JobReport> Engine::run(const std::vector<JobSpec>& jobs,

@@ -15,6 +15,7 @@
 #include "engine/batch_runner.hpp"
 #include "engine/job.hpp"
 #include "engine/metrics.hpp"
+#include "engine/sim_cache.hpp"
 #include "engine/thread_pool.hpp"
 
 namespace biosens::engine {
@@ -31,6 +32,11 @@ struct EngineOptions {
   /// compute); a real deployment replaces the sleep with the actual
   /// potentiostat hold. Affects timing only, never results.
   double dwell_scale = 0.0;
+  /// Capacity of the engine's simulation memoization cache
+  /// (engine/sim_cache.hpp); 0 disables it. Results are byte-identical
+  /// with the cache on or off — it only skips recomputing deterministic
+  /// simulation stages whose inputs hash identically.
+  std::size_t sim_cache_capacity = 0;
 };
 
 class Engine {
@@ -49,6 +55,14 @@ class Engine {
   /// Null when the engine is serial (workers == 0).
   [[nodiscard]] ThreadPool* pool() { return pool_.get(); }
 
+  /// The simulation memoization cache; null when disabled
+  /// (sim_cache_capacity == 0). Shared by all workers; its traffic is
+  /// mirrored into metrics().cache_{hits,misses,evictions}.
+  [[nodiscard]] SimCache* sim_cache() { return sim_cache_.get(); }
+  [[nodiscard]] const SimCache* sim_cache() const {
+    return sim_cache_.get();
+  }
+
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
@@ -62,6 +76,7 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   MetricsRegistry metrics_;
+  std::unique_ptr<SimCache> sim_cache_;
   Stopwatch window_;
 };
 

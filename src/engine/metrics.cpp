@@ -103,6 +103,10 @@ Table MetricsSnapshot::to_table() const {
         {"failed_" + std::string(to_string(static_cast<ErrorCode>(c))),
          std::to_string(failures_by_code[c])});
   }
+  table.add_row({"cache_hits", std::to_string(cache_hits)});
+  table.add_row({"cache_misses", std::to_string(cache_misses)});
+  table.add_row({"cache_evictions", std::to_string(cache_evictions)});
+  table.add_row({"cache_hit_rate", format_seconds(cache_hit_rate())});
   table.add_row({"wall_seconds", format_seconds(wall_seconds)});
   table.add_row({"busy_seconds", format_seconds(busy_seconds)});
   table.add_row(
@@ -134,6 +138,9 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
     s.failures_by_code[c] = failures_by_code[c].value();
   }
+  s.cache_hits = cache_hits.value();
+  s.cache_misses = cache_misses.value();
+  s.cache_evictions = cache_evictions.value();
   s.wall_seconds = wall_seconds;
   s.busy_seconds =
       static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) /
@@ -160,6 +167,9 @@ void MetricsRegistry::reset() {
   attempts.reset();
   retries.reset();
   for (Counter& c : failures_by_code) c.reset();
+  cache_hits.reset();
+  cache_misses.reset();
+  cache_evictions.reset();
   attempt_latency.reset();
   busy_nanos_.store(0, std::memory_order_relaxed);
   backoff_nanos_.store(0, std::memory_order_relaxed);

@@ -88,6 +88,10 @@ struct MetricsSnapshot {
   /// Failed jobs broken down by the final attempt's ErrorCode (pure QC
   /// exhaustion without a structured fault counts under kQcReject).
   std::array<std::uint64_t, kErrorCodeCount> failures_by_code{};
+  // Simulation-cache traffic (engine/sim_cache.hpp) over the window.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
   double wall_seconds = 0.0;        ///< batch wall-clock time
   double busy_seconds = 0.0;        ///< summed attempt execution time
   double backoff_sim_seconds = 0.0; ///< simulated re-measurement backoff
@@ -106,6 +110,14 @@ struct MetricsSnapshot {
   [[nodiscard]] double utilization() const {
     return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0;
   }
+  /// Fraction of simulation-cache lookups served from memory.
+  [[nodiscard]] double cache_hit_rate() const {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups > 0
+               ? static_cast<double>(cache_hits) /
+                     static_cast<double>(lookups)
+               : 0.0;
+  }
 
   /// Two-column metric/value table for printing or CSV export.
   [[nodiscard]] Table to_table() const;
@@ -121,6 +133,10 @@ class MetricsRegistry {
   Counter retries;
   /// Failed jobs by final ErrorCode (indexed by the enum's value).
   std::array<Counter, kErrorCodeCount> failures_by_code;
+  // Simulation-cache traffic (fed by an attached engine/sim_cache).
+  Counter cache_hits;
+  Counter cache_misses;
+  Counter cache_evictions;
   LatencyHistogram attempt_latency;
 
   void record_failure(ErrorCode code) {

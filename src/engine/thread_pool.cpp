@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t workers, std::size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::function<void()>&& task) {
   require<SpecError>(static_cast<bool>(task), "cannot submit an empty task");
   std::unique_lock<std::mutex> lock(mutex_);
   queue_not_full_.wait(lock, [this] {
@@ -32,7 +32,7 @@ void ThreadPool::submit(std::function<void()> task) {
   queue_not_empty_.notify_one();
 }
 
-bool ThreadPool::try_submit(std::function<void()> task) {
+bool ThreadPool::try_submit(std::function<void()>&& task) {
   require<SpecError>(static_cast<bool>(task), "cannot submit an empty task");
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -31,12 +31,14 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; blocks while the queue is full (backpressure).
+  /// Takes the task by rvalue so the callable (and any captured state)
+  /// is moved straight into the queue — no copy on the submission path.
   /// Throws SpecError after shutdown().
-  void submit(std::function<void()> task);
+  void submit(std::function<void()>&& task);
 
   /// Non-blocking enqueue; returns false when the queue is full.
-  /// Throws SpecError after shutdown().
-  bool try_submit(std::function<void()> task);
+  /// Move-in semantics as submit(). Throws SpecError after shutdown().
+  bool try_submit(std::function<void()>&& task);
 
   /// Stops accepting tasks, finishes everything already queued, joins
   /// the workers. Idempotent; called by the destructor.

@@ -49,31 +49,74 @@ double DiffusionField::surface_gradient_flux() const {
   return d_.m2_per_s() * dcdx;
 }
 
-void DiffusionField::advance_with_flux(Time dt, double surface_flux) {
+void DiffusionField::ensure_factorization(Boundary boundary, double dt_s,
+                                          double sink) {
+  if (factorization_.factored() && cached_boundary_ == boundary &&
+      cached_dt_s_ == dt_s && cached_sink_ == sink) {
+    return;
+  }
   const std::size_t n = c_.size();
-  const double lambda = d_.m2_per_s() * dt.seconds() / (dx_ * dx_);
+  const double lambda = d_.m2_per_s() * dt_s / (dx_ * dx_);
   const double half = 0.5 * lambda;
 
-  // Node 0: half-cell mass balance with imposed consumption flux.
-  diag_[0] = 1.0 + lambda;
-  upper_[0] = -lambda;
-  rhs_[0] = c_[0] * (1.0 - lambda) + lambda * c_[1] -
-            2.0 * surface_flux * dt.seconds() / dx_;
+  // Row 0: the electrode boundary.
+  switch (boundary) {
+    case Boundary::kClamped:
+      diag_[0] = 1.0;
+      upper_[0] = 0.0;
+      break;
+    case Boundary::kFlux:
+      diag_[0] = 1.0 + lambda;
+      upper_[0] = -lambda;
+      break;
+    case Boundary::kAffine:
+      diag_[0] = 1.0 + lambda + sink;
+      upper_[0] = -lambda;
+      break;
+    case Boundary::kNone:
+      require<NumericsError>(false, "invalid boundary mode");
+      break;
+  }
 
-  // Interior nodes: Crank-Nicolson.
+  // Interior rows: Crank-Nicolson.
   for (std::size_t i = 1; i + 1 < n; ++i) {
     lower_[i - 1] = -half;
     diag_[i] = 1.0 + lambda;
     upper_[i] = -half;
-    rhs_[i] = half * c_[i - 1] + (1.0 - lambda) * c_[i] + half * c_[i + 1];
   }
 
-  // Node n-1: bulk Dirichlet.
+  // Row n-1: bulk Dirichlet.
   lower_[n - 2] = 0.0;
   diag_[n - 1] = 1.0;
-  rhs_[n - 1] = bulk_.milli_molar();
 
-  c_ = solve_tridiagonal(lower_, diag_, upper_, rhs_);
+  factorization_.factor(lower_, diag_, upper_);
+  cached_boundary_ = boundary;
+  cached_dt_s_ = dt_s;
+  cached_sink_ = sink;
+  ++factorizations_;
+}
+
+void DiffusionField::prepare_flux_step(Time dt) {
+  const double dt_s = dt.seconds();
+  ensure_factorization(Boundary::kFlux, dt_s, 0.0);
+
+  const std::size_t n = c_.size();
+  const double lambda = d_.m2_per_s() * dt_s / (dx_ * dx_);
+  const double half = 0.5 * lambda;
+
+  // The right-hand side depends only on the pre-step profile, so the
+  // fixed-point iterations share everything but rhs[0]'s flux term.
+  pre_step_c0_ = c_[0];
+  rhs0_base_ = c_[0] * (1.0 - lambda) + lambda * c_[1];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    rhs_[i] = half * c_[i - 1] + (1.0 - lambda) * c_[i] + half * c_[i + 1];
+  }
+  rhs_[n - 1] = bulk_.milli_molar();
+}
+
+void DiffusionField::advance_prepared_flux(Time dt, double surface_flux) {
+  rhs_[0] = rhs0_base_ - 2.0 * surface_flux * dt.seconds() / dx_;
+  factorization_.solve(rhs_, c_);
   // Numerical round-off can leave tiny negatives near a hard sink.
   for (double& v : c_) v = std::max(v, 0.0);
 }
@@ -81,26 +124,18 @@ void DiffusionField::advance_with_flux(Time dt, double surface_flux) {
 double DiffusionField::step_clamped_surface(Time dt, Concentration surface) {
   require<NumericsError>(dt.seconds() > 0.0, "time step must be positive");
   const std::size_t n = c_.size();
-  const double lambda = d_.m2_per_s() * dt.seconds() / (dx_ * dx_);
+  const double dt_s = dt.seconds();
+  ensure_factorization(Boundary::kClamped, dt_s, 0.0);
+  const double lambda = d_.m2_per_s() * dt_s / (dx_ * dx_);
   const double half = 0.5 * lambda;
 
-  // Node 0: Dirichlet clamp.
-  diag_[0] = 1.0;
-  upper_[0] = 0.0;
   rhs_[0] = surface.milli_molar();
-
   for (std::size_t i = 1; i + 1 < n; ++i) {
-    lower_[i - 1] = -half;
-    diag_[i] = 1.0 + lambda;
-    upper_[i] = -half;
     rhs_[i] = half * c_[i - 1] + (1.0 - lambda) * c_[i] + half * c_[i + 1];
   }
-
-  lower_[n - 2] = 0.0;
-  diag_[n - 1] = 1.0;
   rhs_[n - 1] = bulk_.milli_molar();
 
-  c_ = solve_tridiagonal(lower_, diag_, upper_, rhs_);
+  factorization_.solve(rhs_, c_);
   for (double& v : c_) v = std::max(v, 0.0);
   return surface_gradient_flux();
 }
@@ -111,56 +146,25 @@ double DiffusionField::step_affine_surface(Time dt, double rate_m_per_s,
   require<NumericsError>(rate_m_per_s >= 0.0,
                          "surface rate must be non-negative");
   const std::size_t n = c_.size();
-  const double lambda = d_.m2_per_s() * dt.seconds() / (dx_ * dx_);
+  const double dt_s = dt.seconds();
+  const double lambda = d_.m2_per_s() * dt_s / (dx_ * dx_);
   const double half = 0.5 * lambda;
-  const double sink = 2.0 * rate_m_per_s * dt.seconds() / dx_;
+  const double sink = 2.0 * rate_m_per_s * dt_s / dx_;
+  ensure_factorization(Boundary::kAffine, dt_s, sink);
 
-  // Node 0: half-cell balance with the affine flux treated implicitly:
+  // Row 0: half-cell balance with the affine flux treated implicitly:
   // c0'(1 + lambda + sink) - lambda c1' =
   //   c0 (1 - lambda) + lambda c1 + 2 dt/dx * production.
-  diag_[0] = 1.0 + lambda + sink;
-  upper_[0] = -lambda;
   rhs_[0] = c_[0] * (1.0 - lambda) + lambda * c_[1] +
-            2.0 * production_flux * dt.seconds() / dx_;
-
+            2.0 * production_flux * dt_s / dx_;
   for (std::size_t i = 1; i + 1 < n; ++i) {
-    lower_[i - 1] = -half;
-    diag_[i] = 1.0 + lambda;
-    upper_[i] = -half;
     rhs_[i] = half * c_[i - 1] + (1.0 - lambda) * c_[i] + half * c_[i + 1];
   }
-
-  lower_[n - 2] = 0.0;
-  diag_[n - 1] = 1.0;
   rhs_[n - 1] = bulk_.milli_molar();
 
-  c_ = solve_tridiagonal(lower_, diag_, upper_, rhs_);
+  factorization_.solve(rhs_, c_);
   for (double& v : c_) v = std::max(v, 0.0);
   return rate_m_per_s * c_[0] - production_flux;
-}
-
-double DiffusionField::step_reactive_surface(
-    Time dt, const std::function<double(double)>& flux_of_surface) {
-  require<NumericsError>(dt.seconds() > 0.0, "time step must be positive");
-
-  const std::vector<double> saved = c_;
-  double flux = flux_of_surface(c_[0]);
-  constexpr int kMaxIterations = 12;
-  constexpr double kRelTol = 1e-8;
-
-  for (int iter = 0; iter < kMaxIterations; ++iter) {
-    c_ = saved;
-    advance_with_flux(dt, flux);
-    const double updated = flux_of_surface(c_[0]);
-    const double scale = std::max({std::abs(flux), std::abs(updated), 1e-30});
-    if (std::abs(updated - flux) <= kRelTol * scale) {
-      return updated;
-    }
-    // Damped update keeps the iteration contractive even when the
-    // Michaelis-Menten flux is steep near full depletion.
-    flux = 0.5 * (flux + updated);
-  }
-  return flux;
 }
 
 }  // namespace biosens::transport
