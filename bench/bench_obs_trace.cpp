@@ -1,0 +1,253 @@
+// Observability bench: what tracing a cohort costs and where the time
+// goes (docs/observability.md).
+//
+// Section 1 — byte-identity. A 48-patient two-sensor cohort is assayed
+// untraced on a serial engine (the reference bytes), then re-assayed
+// with a TraceSession attached via EngineOptions::trace at 0, 1, and 8
+// workers. Tracing only reads clocks — it never touches a job's Rng
+// stream — so every traced fingerprint must equal the untraced
+// reference; the bench exits nonzero on any divergence.
+//
+// Section 2 — per-layer latency attribution. The serial traced run's
+// session is kept for inspection and its per-layer histograms printed
+// as the attribution table (span count, failures, total inclusive
+// seconds, p50/p95). Inclusive semantics: a chem span nested inside an
+// electrochem sweep counts toward both layers, so the column does not
+// sum to wall time.
+//
+// Section 3 — enabled-tracing overhead: traced vs untraced serial wall
+// time (best of 3). This is the cost of *running* a session; the <2%
+// disabled-path budget is enforced separately by the perf-smoke gate
+// on bench_sim_kernels' solver step rate, which executes the
+// instrumented transport kernel with no session installed.
+//
+// The JSON printed at the end is the committed BENCH_obs.json baseline
+// future perf PRs cite. BIOSENS_SMOKE=1 shrinks the cohort (CI).
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/workloads.hpp"
+#include "engine/engine.hpp"
+#include "obs/span.hpp"
+
+namespace {
+
+using namespace biosens;
+
+core::Platform make_panel() {
+  // Point-of-care acquisition settings (same as bench_sim_kernels) so a
+  // panel costs milliseconds, not lab-grade seconds.
+  core::MeasurementOptions poc;
+  poc.chrono.duration = Time::seconds(10.0);
+  poc.chrono.dt = Time::milliseconds(100.0);
+  poc.chrono.grid_nodes = 40;
+  poc.voltammetry.points_per_sweep = 150;
+  poc.smoothing_window = 3;
+
+  core::Platform p;
+  p.add_sensor(core::entry_or_throw("MWCNT/Nafion + GOD (this work)"), poc);
+  p.add_sensor(core::entry_or_throw("MWCNT + CYP (cyclophosphamide)"), poc);
+  return p;
+}
+
+core::ProtocolOptions quick_options() {
+  core::ProtocolOptions o;
+  o.blank_repeats = 8;
+  o.replicates = 1;
+  return o;
+}
+
+std::vector<chem::Sample> cohort_samples(std::size_t patients) {
+  std::vector<chem::Sample> samples;
+  samples.reserve(patients);
+  Rng levels(424242);
+  for (std::size_t i = 0; i < patients; ++i) {
+    chem::Sample s = chem::blank_sample();
+    s.set("glucose", Concentration::milli_molar(levels.uniform(0.1, 0.9)));
+    s.set("cyclophosphamide",
+          Concentration::micro_molar(levels.uniform(20.0, 60.0)));
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+/// Bit-exact fingerprint (%.17g round-trips IEEE doubles exactly).
+std::string fingerprint(const std::vector<core::PanelReport>& reports) {
+  std::string out;
+  char cell[64];
+  for (const core::PanelReport& report : reports) {
+    for (const core::AssayResult& r : report.results) {
+      std::snprintf(cell, sizeof(cell), "%.17g|%.17g|%d;", r.response_a,
+                    r.estimated.milli_molar(), r.qc.accepted ? 1 : 0);
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("BIOSENS_SMOKE") != nullptr;
+  biosens::bench::print_banner(
+      "Cross-layer tracing — byte-identity, attribution, overhead",
+      smoke ? "reduced CI smoke configuration"
+            : "traced cohort runs vs the untraced reference");
+
+  const core::Platform platform = [] {
+    core::Platform p = make_panel();
+    Rng rng(2012);
+    p.calibrate_all(rng, quick_options());
+    return p;
+  }();
+  const std::vector<chem::Sample> samples =
+      cohort_samples(smoke ? 12 : 48);
+  core::PanelBatchOptions options;
+  options.seed = 2012;
+
+  // -- untraced reference bytes + wall time (best of 3) --
+  double untraced_s = 1e18;
+  std::string reference;
+  for (int rep = 0; rep < 3; ++rep) {
+    engine::Engine untraced;
+    const engine::Stopwatch watch;
+    const auto run = platform.run_panel_batch(samples, untraced, options);
+    untraced_s = std::min(untraced_s, watch.elapsed_seconds());
+    reference = fingerprint(run.reports);
+  }
+
+  // -- traced runs: byte-identity at 0/1/8 workers --
+  bool deterministic = true;
+  obs::TraceSession session;  // retains the last serial traced batch
+  double traced_s = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    engine::Engine traced(engine::EngineOptions{.trace = &session});
+    const engine::Stopwatch watch;
+    const auto run = platform.run_panel_batch(samples, traced, options);
+    traced_s = std::min(traced_s, watch.elapsed_seconds());
+    if (fingerprint(run.reports) != reference) {
+      deterministic = false;
+      std::fprintf(stderr, "BYTE-IDENTITY VIOLATION: traced serial run "
+                           "diverges from the untraced reference\n");
+    }
+  }
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    obs::TraceSession parallel_session;
+    engine::Engine traced(engine::EngineOptions{
+        .workers = workers, .trace = &parallel_session});
+    const auto run = platform.run_panel_batch(samples, traced, options);
+    if (fingerprint(run.reports) != reference) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "BYTE-IDENTITY VIOLATION: traced results diverge at "
+                   "%zu workers\n",
+                   workers);
+    }
+  }
+
+  // -- per-layer attribution (serial traced session) --
+  std::printf("\nper-layer latency attribution, %zu-patient serial traced "
+              "run\n(inclusive spans: nested layers overlap, columns do "
+              "not sum to wall time):\n",
+              samples.size());
+  std::printf("  %-12s %8s %6s %12s %10s %10s\n", "layer", "spans",
+              "fails", "total_s", "p50_us", "p95_us");
+  for (std::size_t i = 0; i < kLayerCount; ++i) {
+    const auto layer = static_cast<Layer>(i);
+    const obs::LatencyHistogram& h = session.layer_latency(layer);
+    if (h.count() == 0) continue;
+    std::printf("  %-12s %8llu %6llu %12.4f %10.1f %10.1f\n",
+                std::string(to_string(layer)).c_str(),
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(session.layer_failures(layer)),
+                h.total_seconds(), h.quantile(0.5) * 1e6,
+                h.quantile(0.95) * 1e6);
+  }
+  std::printf("  spans: %llu total, %llu failed; %llu events, %llu "
+              "dropped\n",
+              static_cast<unsigned long long>(session.span_count()),
+              static_cast<unsigned long long>(session.failed_span_count()),
+              static_cast<unsigned long long>(session.event_count()),
+              static_cast<unsigned long long>(session.dropped_events()));
+
+  // -- enabled-tracing overhead --
+  const double overhead_pct = (traced_s / untraced_s - 1.0) * 100.0;
+  std::printf("\nserial cohort wall (best of 3): untraced %.4f s, "
+              "traced %.4f s (%+.1f%% with a session installed)\n",
+              untraced_s, traced_s, overhead_pct);
+  if (!deterministic) return 1;
+  std::printf("byte-identity: traced == untraced at 0, 1 and 8 workers "
+              "(seed %llu)\n",
+              static_cast<unsigned long long>(options.seed));
+
+  std::string json = "{\n";
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"cohort\": {\"patients\": %zu, "
+                "\"untraced_wall_s\": %.4f, \"traced_wall_s\": %.4f,\n"
+                "    \"traced_overhead_pct\": %.1f},\n",
+                samples.size(), untraced_s, traced_s, overhead_pct);
+  json += buffer;
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"session\": {\"spans\": %llu, \"failed_spans\": %llu, "
+                "\"events\": %llu, \"dropped\": %llu},\n",
+                static_cast<unsigned long long>(session.span_count()),
+                static_cast<unsigned long long>(session.failed_span_count()),
+                static_cast<unsigned long long>(session.event_count()),
+                static_cast<unsigned long long>(session.dropped_events()));
+  json += buffer;
+  json += "  \"layers\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < kLayerCount; ++i) {
+    const auto layer = static_cast<Layer>(i);
+    const obs::LatencyHistogram& h = session.layer_latency(layer);
+    if (h.count() == 0) continue;
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\n    \"%s\": {\"spans\": %llu, \"total_s\": %.4f, "
+                  "\"p50_us\": %.1f, \"p95_us\": %.1f}",
+                  first ? "" : ",",
+                  std::string(to_string(layer)).c_str(),
+                  static_cast<unsigned long long>(h.count()),
+                  h.total_seconds(), h.quantile(0.5) * 1e6,
+                  h.quantile(0.95) * 1e6);
+    json += buffer;
+    first = false;
+  }
+  json += "},\n";
+  json += std::string("  \"deterministic\": ") +
+          (deterministic ? "true" : "false") +
+          ",\n  \"smoke\": " + (smoke ? "true" : "false") + "\n}\n";
+  std::printf("\n%s", json.c_str());
+  if (const char* dir = std::getenv("BIOSENS_EXPORT_DIR")) {
+    const std::string path = std::string(dir) + "/obs_trace.json";
+    Table::write_file(path, json);
+    std::printf("(exported %s)\n", path.c_str());
+  }
+
+  if (smoke) return 0;  // CI gate parses stdout; skip the long timings
+
+  benchmark::RegisterBenchmark(
+      "BM_TracedPanelAssay", [&](benchmark::State& state) {
+        obs::TraceSession s;
+        s.start();
+        Rng rng(7);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(platform.assay(samples[0], rng));
+        }
+        s.stop();
+      });
+  benchmark::RegisterBenchmark(
+      "BM_UntracedPanelAssay", [&](benchmark::State& state) {
+        Rng rng(7);
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(platform.assay(samples[0], rng));
+        }
+      });
+  return biosens::bench::run_timings(argc, argv);
+}

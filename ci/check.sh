@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# CI gate: exception-discipline lint, Release build + full test suite,
-# a ThreadSanitizer build of the concurrency-bearing tests to catch data
-# races in the engine's worker pool, an UndefinedBehaviorSanitizer build
-# of the error-path tests, and a perf smoke of the hot simulation
-# kernels against the committed BENCH_sim.json baseline. Run from the
-# repository root:
+# CI gate: exception-discipline + span-discipline lint, Release build +
+# full test suite, a ThreadSanitizer build of the concurrency-bearing
+# tests to catch data races in the engine's worker pool, an
+# UndefinedBehaviorSanitizer build of the error-path tests, a perf
+# smoke of the hot simulation kernels against the committed
+# BENCH_sim.json baseline, and a traced smoke batch that validates the
+# observability exporters structurally. Run from the repository root:
 #
 #   ci/check.sh            # everything
-#   ci/check.sh lint       # throw-discipline lint only
+#   ci/check.sh lint       # throw/span-discipline lint only
 #   ci/check.sh release    # Release + ctest only
 #   ci/check.sh tsan       # TSan engine tests only
 #   ci/check.sh ubsan      # UBSan error-path tests only
 #   ci/check.sh perf       # solver step-rate smoke only
+#   ci/check.sh obs        # traced batch + exporter validation only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 STAGE="${1:-all}"
 
 run_lint() {
-  echo "=== [1/5] Lint: no 'throw' outside the error/expected headers ==="
+  echo "=== [1/6] Lint: no 'throw' outside the error/expected headers ==="
   # The Expected<T> refactor confines throw statements to the public
   # convenience boundary: common/error.hpp (require<>, the exception
   # types) and common/expected.hpp (value_or_throw / ErrorInfo::raise).
@@ -36,18 +38,33 @@ run_lint() {
     echo "${violations}" >&2
     exit 1
   fi
-  echo "lint: OK"
+  echo "lint(throw): OK"
+
+  # Span discipline: instrumented code creates spans only through the
+  # obs::ObsSpan RAII type (plus TraceSession::instant/async_* for
+  # point events). Touching the raw event machinery — emit_span_event
+  # or EventPhase literals — outside src/obs/ would let an unbalanced
+  # begin/end pair corrupt every exported trace.
+  span_violations="$(grep -rn --include='*.hpp' --include='*.cpp' \
+      -E 'emit_span_event|EventPhase::' src/ \
+    | grep -v '^src/obs/' || true)"
+  if [ -n "${span_violations}" ]; then
+    echo "raw span-event primitive used outside src/obs/:" >&2
+    echo "${span_violations}" >&2
+    exit 1
+  fi
+  echo "lint(span): OK"
 }
 
 run_release() {
-  echo "=== [2/5] Release build + full test suite ==="
+  echo "=== [2/6] Release build + full test suite ==="
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci -j "${JOBS}"
   ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 }
 
 run_tsan() {
-  echo "=== [3/5] ThreadSanitizer: engine tests ==="
+  echo "=== [3/6] ThreadSanitizer: engine tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=thread
@@ -59,7 +76,7 @@ run_tsan() {
 }
 
 run_ubsan() {
-  echo "=== [4/5] UndefinedBehaviorSanitizer: error-path tests ==="
+  echo "=== [4/6] UndefinedBehaviorSanitizer: error-path tests ==="
   cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=undefined
@@ -71,7 +88,7 @@ run_ubsan() {
 }
 
 run_perf() {
-  echo "=== [5/5] Perf smoke: solver step rate vs BENCH_sim.json ==="
+  echo "=== [5/6] Perf smoke: solver step rate vs BENCH_sim.json ==="
   # A reduced-configuration run of the kernel bench (BIOSENS_SMOKE=1
   # shrinks the step/patient counts and skips the google-benchmark
   # timings; the per-step rate it prints is comparable to the full
@@ -103,13 +120,83 @@ run_perf() {
   }
 }
 
+run_obs() {
+  echo "=== [6/6] Observability smoke: traced batch + exporter validation ==="
+  # One small traced service run must yield a Chrome trace that loads
+  # in Perfetto (valid JSON, balanced begin/end nesting per thread) and
+  # a Prometheus exposition with well-formed cumulative histograms.
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "${JOBS}" --target batch_service
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "${obs_dir}"' RETURN
+  ./build-ci/examples/batch_service --quick --waves=1 --samples=48 \
+    --trace-out="${obs_dir}/trace.json" \
+    --metrics-out="${obs_dir}/metrics.prom" \
+    --events-out="${obs_dir}/events.jsonl"
+  python3 - "${obs_dir}" <<'PY'
+import json, sys, os
+d = sys.argv[1]
+
+# Chrome trace: valid JSON, balanced B/E nesting per thread track.
+with open(os.path.join(d, "trace.json")) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+depth = {}
+spans = 0
+for e in events:
+    ph, tid = e["ph"], e["tid"]
+    if ph == "B":
+        depth[tid] = depth.get(tid, 0) + 1
+        spans += 1
+    elif ph == "E":
+        depth[tid] = depth.get(tid, 0) - 1
+        assert depth[tid] >= 0, f"E without B on tid {tid}"
+assert all(v == 0 for v in depth.values()), f"unbalanced spans: {depth}"
+assert any(e["ph"] == "M" and e["name"] == "thread_name" for e in events), \
+    "missing thread_name metadata"
+print(f"chrome trace: OK ({len(events)} events, {spans} spans, "
+      f"{len(depth)} tracks)")
+
+# Prometheus: every histogram series (family + label set) is
+# cumulative and ends at +Inf.
+hist = {}
+with open(os.path.join(d, "metrics.prom")) as f:
+    for line in f:
+        if "_bucket{" not in line:
+            continue
+        name, rest = line.split("_bucket{", 1)
+        labels = rest.split("}", 1)[0].split(",")
+        le = next(l for l in labels if l.startswith('le="'))
+        series = (name,) + tuple(l for l in labels if not l.startswith('le="'))
+        value = float(line.rsplit(" ", 1)[1])
+        hist.setdefault(series, []).append((le[4:-1], value))
+assert hist, "no histogram buckets in Prometheus exposition"
+for series, buckets in hist.items():
+    assert buckets[-1][0] == "+Inf", f"{series} missing +Inf bucket"
+    values = [v for _, v in buckets]
+    assert values == sorted(values), f"{series} buckets not cumulative"
+assert any(s[0] == "biosens_layer_span_seconds" for s in hist), \
+    "missing per-layer histograms"
+print(f"prometheus: OK ({len(hist)} histogram series)")
+
+# JSONL: one valid object per line.
+with open(os.path.join(d, "events.jsonl")) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert lines and all("phase" in e for e in lines), "bad JSONL events"
+print(f"jsonl: OK ({len(lines)} events)")
+PY
+  echo "observability smoke: OK"
+}
+
 case "${STAGE}" in
   lint)    run_lint ;;
   release) run_release ;;
   tsan)    run_tsan ;;
   ubsan)   run_ubsan ;;
   perf)    run_perf ;;
-  all)     run_lint; run_release; run_tsan; run_ubsan; run_perf ;;
-  *) echo "usage: ci/check.sh [lint|release|tsan|ubsan|perf|all]" >&2; exit 2 ;;
+  obs)     run_obs ;;
+  all)     run_lint; run_release; run_tsan; run_ubsan; run_perf; run_obs ;;
+  *) echo "usage: ci/check.sh [lint|release|tsan|ubsan|perf|obs|all]" >&2; exit 2 ;;
 esac
 echo "CI checks passed."

@@ -7,17 +7,76 @@
 // simulated time), serializes panels that contend for the same physical
 // instrument, and reports service metrics (throughput, latency
 // percentiles, retry counts) after every wave. Results are
-// deterministic: re-running this binary reproduces every number.
+// deterministic: re-running this binary reproduces every number — with
+// or without tracing enabled.
+//
+// Observability flags (docs/observability.md):
+//   --trace-out=FILE    Chrome trace-event JSON of the whole service day
+//                       (open in Perfetto / chrome://tracing)
+//   --metrics-out=FILE  Prometheus text exposition incl. per-layer
+//                       latency histograms
+//   --events-out=FILE   JSONL event log for post-mortems
+//   --waves=N --samples=N --quick  shrink the workload (CI smoke)
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/table.hpp"
 #include "core/platform.hpp"
 #include "core/workloads.hpp"
+#include "engine/metrics.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_jsonl.hpp"
+#include "obs/export_prometheus.hpp"
+#include "obs/span.hpp"
 
 using namespace biosens;
 
 namespace {
+
+struct ServiceConfig {
+  std::size_t waves = 3;
+  std::size_t samples_per_wave = 40;
+  bool quick = false;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string events_out;
+};
+
+ServiceConfig parse_args(int argc, char** argv) {
+  ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::string(prefix).size();
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--waves=")) {
+      config.waves = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--samples=")) {
+      config.samples_per_wave =
+          static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--trace-out=")) {
+      config.trace_out = v;
+    } else if (const char* v = value_of("--metrics-out=")) {
+      config.metrics_out = v;
+    } else if (const char* v = value_of("--events-out=")) {
+      config.events_out = v;
+    } else if (arg == "--quick") {
+      config.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: batch_service [--waves=N] [--samples=N] "
+                   "[--quick] [--trace-out=FILE] [--metrics-out=FILE] "
+                   "[--events-out=FILE]\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return config;
+}
 
 /// A wave of incoming samples; a few are degraded (blank — a mis-pipetted
 /// vial gives no response) and one is grossly over-range, so QC rejects
@@ -42,9 +101,21 @@ std::vector<chem::Sample> incoming_wave(std::size_t count,
   return wave;
 }
 
+/// Fast point-of-care measurement settings for --quick CI smoke runs.
+core::MeasurementOptions quick_measurement() {
+  core::MeasurementOptions m;
+  m.chrono.duration = Time::seconds(10.0);
+  m.chrono.dt = Time::milliseconds(100.0);
+  m.chrono.grid_nodes = 40;
+  m.voltammetry.points_per_sweep = 150;
+  m.smoothing_window = 3;
+  return m;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const ServiceConfig config = parse_args(argc, argv);
   std::printf(
       "=== batch_service: simulated high-traffic assay service ===\n"
       "(engine: 4 workers, 6 instruments, QC-retry with simulated "
@@ -52,10 +123,24 @@ int main() {
 
   // The instrument panel: glucose + CYP drug sensor per chip.
   core::Platform platform;
-  platform.add_sensor(
-      core::entry_or_throw("MWCNT/Nafion + GOD (this work)"));
-  platform.add_sensor(
-      core::entry_or_throw("MWCNT + CYP (cyclophosphamide)"));
+  if (config.quick) {
+    platform.add_sensor(
+        core::entry_or_throw("MWCNT/Nafion + GOD (this work)"),
+        quick_measurement());
+    platform.add_sensor(
+        core::entry_or_throw("MWCNT + CYP (cyclophosphamide)"),
+        quick_measurement());
+  } else {
+    platform.add_sensor(
+        core::entry_or_throw("MWCNT/Nafion + GOD (this work)"));
+    platform.add_sensor(
+        core::entry_or_throw("MWCNT + CYP (cyclophosphamide)"));
+  }
+
+  const bool tracing = !config.trace_out.empty() ||
+                       !config.metrics_out.empty() ||
+                       !config.events_out.empty();
+  obs::TraceSession session;
 
   // Calibration itself runs on the engine — one calibration-sweep job
   // per sensor, deterministic for any worker count.
@@ -66,6 +151,11 @@ int main() {
       // electrode hold; a deployment replaces this with the actual hold.
       .dwell_scale = 2e-3 / 60.0,
   });
+  // Hold one session open across calibration + every wave so the trace
+  // shows the whole service day (Engine::run would otherwise scope a
+  // session per batch via EngineOptions::trace).
+  if (tracing) session.start();
+
   core::ProtocolOptions protocol;
   protocol.blank_repeats = 8;
   protocol.replicates = 1;
@@ -82,8 +172,10 @@ int main() {
   options.retry.max_backoff = Time::minutes(5.0);
 
   std::size_t total_panels = 0, total_rejected = 0;
-  for (std::size_t wave_index = 0; wave_index < 3; ++wave_index) {
-    const auto wave = incoming_wave(40, 1000 + wave_index);
+  for (std::size_t wave_index = 0; wave_index < config.waves;
+       ++wave_index) {
+    const auto wave =
+        incoming_wave(config.samples_per_wave, 1000 + wave_index);
     engine.reset_metrics();
     options.seed = 77 + wave_index;  // distinct noise per wave
     const core::PanelBatchResult result =
@@ -111,8 +203,30 @@ int main() {
               "rejections (flagged for manual review)\n",
               total_panels, total_rejected);
 
+  if (tracing) {
+    session.stop();
+    if (!config.trace_out.empty()) {
+      obs::write_chrome_trace(session, config.trace_out);
+      std::printf("wrote Chrome trace (%llu events) to %s\n",
+                  static_cast<unsigned long long>(session.event_count()),
+                  config.trace_out.c_str());
+    }
+    if (!config.metrics_out.empty()) {
+      Table::write_file(config.metrics_out,
+                        engine.prometheus_text(&session));
+      std::printf("wrote Prometheus metrics to %s\n",
+                  config.metrics_out.c_str());
+    }
+    if (!config.events_out.empty()) {
+      obs::write_jsonl_events(session, config.events_out);
+      std::printf("wrote JSONL event log to %s\n",
+                  config.events_out.c_str());
+    }
+    return 0;
+  }
+
   // A rejected panel still carries its diagnosis: show one.
-  const auto diagnostic_wave = incoming_wave(40, 1000);
+  const auto diagnostic_wave = incoming_wave(config.samples_per_wave, 1000);
   const auto result =
       platform.run_panel_batch(diagnostic_wave, engine, options);
   for (const engine::JobReport& job : result.jobs) {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::analysis {
 
@@ -32,6 +33,7 @@ CalibrationResult CalibrationEngine::calibrate(
 Expected<CalibrationResult> CalibrationEngine::try_calibrate(
     std::span<const CalibrationPoint> points, double blank_sigma_a,
     Area electrode_area, double point_sigma_a) const {
+  const obs::ObsSpan span(Layer::kAnalysis, "calibration-fit");
   BIOSENS_EXPECT(points.size() >= options_.seed_points, ErrorCode::kAnalysis,
                  Layer::kAnalysis, "calibrate",
                  "not enough calibration points");

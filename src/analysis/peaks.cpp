@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/regression.hpp"
 #include "common/stats.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::analysis {
 namespace {
@@ -129,11 +130,13 @@ std::optional<Peak> find_cathodic_peak(const electrochem::Voltammogram& vg) {
 
 Expected<std::optional<Peak>> try_find_cathodic_peak(
     const electrochem::Voltammogram& vg) {
-  return try_branch_with_direction(vg, /*cathodic=*/true)
-      .map([](const std::optional<Branch>& branch) {
-        return branch.has_value() ? extreme_peak(*branch, -1.0)
-                                  : std::optional<Peak>{};
-      });
+  obs::ObsSpan span(Layer::kAnalysis, "peak-detect");
+  return span.watch(
+      try_branch_with_direction(vg, /*cathodic=*/true)
+          .map([](const std::optional<Branch>& branch) {
+            return branch.has_value() ? extreme_peak(*branch, -1.0)
+                                      : std::optional<Peak>{};
+          }));
 }
 
 std::optional<Peak> find_anodic_peak(const electrochem::Voltammogram& vg) {
@@ -177,6 +180,7 @@ std::optional<Potential> peak_separation(
 }
 
 std::optional<Peak> find_dpv_peak(const electrochem::DpvTrace& trace) {
+  const obs::ObsSpan span(Layer::kAnalysis, "dpv-peak-detect");
   const std::size_t n = trace.size();
   if (n < 16) return std::nullopt;
   // Skip the staircase head: the switch-on region carries the

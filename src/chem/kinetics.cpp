@@ -1,6 +1,7 @@
 #include "chem/kinetics.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::chem {
 
@@ -9,11 +10,14 @@ MichaelisMenten::MichaelisMenten(Rate k_cat, Concentration k_m)
 
 Expected<MichaelisMenten> MichaelisMenten::try_create(Rate k_cat,
                                                       Concentration k_m) {
-  BIOSENS_EXPECT(k_cat.per_second() > 0.0, ErrorCode::kSpec, Layer::kChem,
-                 "kinetics", "k_cat must be positive");
-  BIOSENS_EXPECT(k_m.milli_molar() > 0.0, ErrorCode::kSpec, Layer::kChem,
-                 "kinetics", "K_M must be positive");
-  return MichaelisMenten(k_cat, k_m, Unchecked{});
+  obs::ObsSpan span(Layer::kChem, "mm-kinetics");
+  return span.watch([&]() -> Expected<MichaelisMenten> {
+    BIOSENS_EXPECT(k_cat.per_second() > 0.0, ErrorCode::kSpec,
+                   Layer::kChem, "kinetics", "k_cat must be positive");
+    BIOSENS_EXPECT(k_m.milli_molar() > 0.0, ErrorCode::kSpec, Layer::kChem,
+                   "kinetics", "K_M must be positive");
+    return MichaelisMenten(k_cat, k_m, Unchecked{});
+  }());
 }
 
 double MichaelisMenten::turnover_per_second(Concentration substrate) const {

@@ -2,6 +2,7 @@
 
 #include "chem/species.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::chem {
 
@@ -53,10 +54,12 @@ std::vector<std::string> Sample::species_names() const {
 }
 
 Expected<void> try_validate_species(const Sample& sample) {
+  obs::ObsSpan span(Layer::kChem, "validate-species");
   for (const std::string& name : sample.species_names()) {
     if (auto sp = try_species(name); !sp) {
       ErrorInfo err = sp.error();
       err.context.emplace_back("sample validation");
+      span.fail(err);
       return err;
     }
   }

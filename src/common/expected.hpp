@@ -39,7 +39,10 @@ enum class ErrorCode {
 
 inline constexpr std::size_t kErrorCodeCount = 5;
 
-/// The library layer an error originated in.
+/// The library layer an error originated in. Shared by the error
+/// taxonomy and the observability subsystem (src/obs/): a failed span is
+/// annotated with the same layer its ErrorInfo names, so error paths and
+/// latency attribution speak one vocabulary.
 enum class Layer {
   kCommon,
   kChem,
@@ -52,6 +55,8 @@ enum class Layer {
   kCore,
   kEngine,
 };
+
+inline constexpr std::size_t kLayerCount = 10;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) {
   switch (code) {

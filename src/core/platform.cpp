@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::core {
 
@@ -96,6 +97,7 @@ PanelReport Platform::assay(const chem::Sample& sample, Rng& rng) const {
 Expected<PanelReport> Platform::try_assay(const chem::Sample& sample,
                                           Rng& rng,
                                           engine::SimCache* cache) const {
+  obs::ObsSpan span(Layer::kCore, "assay-panel");
   BIOSENS_EXPECT(calibrated(), ErrorCode::kSpec, Layer::kCore, "assay panel",
                  "calibrate_all() before assay()");
 
@@ -110,7 +112,7 @@ Expected<PanelReport> Platform::try_assay(const chem::Sample& sample,
     AssayResult r;
     r.target = sensor.spec().target;
     r.sensor_name = sensor.spec().name;
-    auto measured = sensor.try_measure(sample, rng, cache);
+    auto measured = span.watch(sensor.try_measure(sample, rng, cache));
     if (!measured) {
       return ctx("assay panel", Expected<PanelReport>(measured.error()));
     }
@@ -177,7 +179,13 @@ PanelBatchResult Platform::run_panel_batch(
   engine::BatchOptions batch;
   batch.seed = options.seed;
   batch.retry = options.retry;
-  result.jobs = engine.run(jobs, batch);
+  {
+    // Engine::run may start the engine's own trace session, so this
+    // span only appears when the caller holds a session open across the
+    // batch (it would otherwise begin before the session exists).
+    const obs::ObsSpan span(Layer::kCore, "run-panel-batch");
+    result.jobs = engine.run(jobs, batch);
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "chem/solution.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 #include "common/math.hpp"
 
@@ -37,6 +38,8 @@ ProtocolOutcome CalibrationProtocol::run(
 Expected<ProtocolOutcome> CalibrationProtocol::try_run(
     const BiosensorModel& sensor, std::span<const Concentration> series,
     Rng& rng) const {
+  obs::ObsSpan span(Layer::kCore, "calibration-protocol",
+                    sensor.spec().name);
   const std::string frame = "calibration protocol";
   BIOSENS_EXPECT(series.size() >= 3, ErrorCode::kSpec, Layer::kCore, frame,
                  "calibration series needs at least three levels");

@@ -9,6 +9,7 @@
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::core {
 namespace {
@@ -164,8 +165,9 @@ engine::CacheKey BiosensorModel::simulation_key(
 
 Expected<Measurement> BiosensorModel::try_measure(
     const chem::Sample& sample, Rng& rng, engine::SimCache* cache) const {
+  obs::ObsSpan span(Layer::kCore, "measure", spec_.name);
   const std::string frame = "measure " + spec_.name;
-  if (auto v = chem::try_validate_species(sample); !v) {
+  if (auto v = span.watch(chem::try_validate_species(sample)); !v) {
     return ctx(frame, Expected<Measurement>(v.error()));
   }
 

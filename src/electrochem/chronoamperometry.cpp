@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 #include "transport/diffusion.hpp"
 
 namespace biosens::electrochem {
@@ -30,8 +31,9 @@ TimeSeries ChronoamperometrySim::run() const {
 }
 
 Expected<TimeSeries> ChronoamperometrySim::try_run() const {
+  obs::ObsSpan span(Layer::kElectrochem, "chrono-sweep");
   const electrode::EffectiveLayer& layer = cell_.layer();
-  auto kinetics_result = layer.try_kinetics();
+  auto kinetics_result = span.watch(layer.try_kinetics());
   if (!kinetics_result) {
     return ctx("chronoamperometry",
                Expected<TimeSeries>(kinetics_result.error()));
@@ -55,7 +57,7 @@ Expected<TimeSeries> ChronoamperometrySim::try_run() const {
   transport::DiffusionField field(layer.substrate_diffusivity, grid,
                                   cell_.substrate_bulk());
 
-  auto activity_result = cell_.try_environment_factor();
+  auto activity_result = span.watch(cell_.try_environment_factor());
   if (!activity_result) {
     return ctx("chronoamperometry",
                Expected<TimeSeries>(activity_result.error()));
@@ -71,7 +73,7 @@ Expected<TimeSeries> ChronoamperometrySim::try_run() const {
   const Potential step_height = waveform_.step() - waveform_.rest();
   Current interferents;
   if (options_.include_interferents) {
-    auto i = cell_.try_interferent_current(waveform_.step());
+    auto i = span.watch(cell_.try_interferent_current(waveform_.step()));
     if (!i) return ctx("chronoamperometry", Expected<TimeSeries>(i.error()));
     interferents = i.value();
   }
@@ -82,6 +84,9 @@ Expected<TimeSeries> ChronoamperometrySim::try_run() const {
   trace.time_s.reserve(steps);
   trace.current_a.reserve(steps);
 
+  // One span around the whole stepping loop, never per step: the solver
+  // inner loop is the perf-gated hot path (bench_sim_kernels).
+  const obs::ObsSpan stepping(Layer::kTransport, "cn-stepping");
   double t = 0.0;
   for (std::size_t k = 0; k < steps; ++k) {
     const double flux = field.step_reactive_surface(options_.dt, surface_flux);

@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::electrochem {
 namespace {
@@ -39,15 +40,16 @@ DpvTrace DifferentialPulseSim::run() const {
 }
 
 Expected<DpvTrace> DifferentialPulseSim::try_run() const {
+  obs::ObsSpan span(Layer::kElectrochem, "dpv-sweep");
   const electrode::EffectiveLayer& layer = cell_.layer();
   // Pre-flight the fallible ingredients once (see VoltammetrySim).
-  if (auto v = chem::try_validate_species(cell_.sample()); !v) {
+  if (auto v = span.watch(chem::try_validate_species(cell_.sample())); !v) {
     return ctx("dpv", Expected<DpvTrace>(v.error()));
   }
-  if (auto k = layer.try_kinetics(); !k) {
+  if (auto k = span.watch(layer.try_kinetics()); !k) {
     return ctx("dpv", Expected<DpvTrace>(k.error()));
   }
-  auto activity = cell_.try_environment_factor();
+  auto activity = span.watch(cell_.try_environment_factor());
   if (!activity) return ctx("dpv", Expected<DpvTrace>(activity.error()));
 
   const double n = layer.electrons;
@@ -95,7 +97,7 @@ Expected<DpvTrace> DifferentialPulseSim::try_run() const {
   // loop (they were paid twice per step: pulse and base sample).
   std::vector<InterferentTerm> interferent_terms;
   if (options_.include_interferents) {
-    auto terms = cell_.try_interferent_terms();
+    auto terms = span.watch(cell_.try_interferent_terms());
     if (!terms) return ctx("dpv", Expected<DpvTrace>(terms.error()));
     interferent_terms = std::move(terms).value();
   }

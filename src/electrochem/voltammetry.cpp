@@ -5,6 +5,7 @@
 
 #include "common/constants.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 #include "transport/analytic.hpp"
 
 namespace biosens::electrochem {
@@ -77,13 +78,14 @@ Voltammogram VoltammetrySim::run() const {
 }
 
 Expected<Voltammogram> VoltammetrySim::try_run() const {
+  obs::ObsSpan span(Layer::kElectrochem, "cv-sweep");
   const electrode::EffectiveLayer& layer = cell_.layer();
   // Pre-flight the fallible ingredients once so the per-point loop below
   // can use the plain accessors without exceptions sneaking back in.
-  if (auto v = chem::try_validate_species(cell_.sample()); !v) {
+  if (auto v = span.watch(chem::try_validate_species(cell_.sample())); !v) {
     return ctx("voltammetry", Expected<Voltammogram>(v.error()));
   }
-  if (auto k = layer.try_kinetics(); !k) {
+  if (auto k = span.watch(layer.try_kinetics()); !k) {
     return ctx("voltammetry", Expected<Voltammogram>(k.error()));
   }
   BIOSENS_EXPECT(layer.electrons > 0, ErrorCode::kSpec, Layer::kElectrochem,
@@ -94,7 +96,7 @@ Expected<Voltammogram> VoltammetrySim::try_run() const {
                    "cross-activity electron count must be positive: " +
                        cross.substrate);
   }
-  auto activity = cell_.try_environment_factor();
+  auto activity = span.watch(cell_.try_environment_factor());
   if (!activity) {
     return ctx("voltammetry", Expected<Voltammogram>(activity.error()));
   }
@@ -148,7 +150,7 @@ Expected<Voltammogram> VoltammetrySim::try_run() const {
   // loop: per point only the sigmoid gates are evaluated.
   std::vector<InterferentTerm> interferent_terms;
   if (options_.include_interferents) {
-    auto terms = cell_.try_interferent_terms();
+    auto terms = span.watch(cell_.try_interferent_terms());
     if (!terms) {
       return ctx("voltammetry", Expected<Voltammogram>(terms.error()));
     }

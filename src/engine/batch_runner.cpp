@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/expected.hpp"
 #include "engine/engine.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::engine {
 namespace {
@@ -44,6 +45,7 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
   out.name = job.name;
   out.kind = job.kind;
 
+  const obs::ObsSpan job_span(Layer::kEngine, "job", job.name);
   const Stopwatch job_watch;
   const Rng job_rng = root.child(index);
   bool accepted = false;
@@ -56,9 +58,12 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
       const Time backoff = options.retry.backoff_before_attempt(attempt);
       out.simulated_backoff += backoff;
       metrics.add_backoff_seconds(backoff.seconds());
+      obs::TraceSession::instant(Layer::kEngine, "retry-backoff",
+                                 job.name);
     }
 
     JobContext context{index, attempt, job_rng.child(attempt)};
+    obs::ObsSpan attempt_span(Layer::kEngine, "attempt", job.name);
     const Stopwatch attempt_watch;
     Expected<bool> result(false);
     {
@@ -92,9 +97,11 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
       accepted = result.value();
       out.error.reset();
       if (accepted) break;
+      attempt_span.annotate("qc-reject");
       continue;  // QC rejection: worth re-measuring under the budget
     }
     accepted = false;
+    attempt_span.fail(result.error());
     out.error = std::move(result.error());
     // A deterministic fault would reproduce on every attempt — stop
     // instead of burning the remaining retry budget.
@@ -131,7 +138,19 @@ std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
   const Rng root(options.seed);
   MetricsRegistry& metrics = engine_.metrics();
 
+  // Submit timestamps for the queue-wait histogram (submit -> the moment
+  // a worker picks the job up). Written by the producer before submit(),
+  // read by the worker inside the submitted closure: the pool's queue
+  // hand-off orders the two.
+  std::vector<std::chrono::steady_clock::time_point> submitted(count);
+
   auto execute = [&](std::size_t i) {
+    const double waited =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      submitted[i])
+            .count();
+    metrics.queue_wait.record(waited);
+    obs::TraceSession::async_end(Layer::kEngine, "queue-wait", i);
     std::mutex* instrument = nullptr;
     if (jobs[i].affinity != kNoAffinity) {
       instrument = affinity_locks.at(jobs[i].affinity).get();
@@ -140,11 +159,17 @@ std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
                 reports[i]);
   };
 
+  auto mark_submitted = [&](std::size_t i) {
+    metrics.jobs_submitted.increment();
+    obs::TraceSession::async_begin(Layer::kEngine, "queue-wait", i);
+    submitted[i] = std::chrono::steady_clock::now();
+  };
+
   ThreadPool* pool = engine_.pool();
   if (pool == nullptr) {
     // Serial reference mode: same derivation, same order, same results.
     for (std::size_t i = 0; i < count; ++i) {
-      metrics.jobs_submitted.increment();
+      mark_submitted(i);
       execute(i);
     }
   } else {
@@ -152,7 +177,7 @@ std::vector<JobReport> BatchRunner::run(const std::vector<JobSpec>& jobs,
     std::condition_variable all_done;
     std::size_t completed = 0;
     for (std::size_t i = 0; i < count; ++i) {
-      metrics.jobs_submitted.increment();
+      mark_submitted(i);
       // submit() blocks when the bounded queue is full — batch producers
       // inherit the pool's backpressure instead of buffering everything.
       pool->submit([&, i] {

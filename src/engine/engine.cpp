@@ -1,8 +1,32 @@
 #include "engine/engine.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::engine {
+namespace {
+
+/// Starts the engine's trace session for one batch and stops it after,
+/// leaving the events in place for export. A session the caller already
+/// started is left alone (the caller owns its window).
+class TraceScope {
+ public:
+  explicit TraceScope(obs::TraceSession* session)
+      : session_(session != nullptr && !session->active() ? session
+                                                          : nullptr) {
+    if (session_ != nullptr) session_->start();
+  }
+  ~TraceScope() {
+    if (session_ != nullptr) session_->stop();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  obs::TraceSession* session_;
+};
+
+}  // namespace
 
 Engine::Engine(EngineOptions options) : options_(options) {
   require<SpecError>(options_.dwell_scale >= 0.0,
@@ -20,11 +44,17 @@ Engine::Engine(EngineOptions options) : options_(options) {
 
 std::vector<JobReport> Engine::run(const std::vector<JobSpec>& jobs,
                                    const BatchOptions& options) {
+  TraceScope scope(options_.trace);
   return BatchRunner(*this).run(jobs, options);
 }
 
 MetricsSnapshot Engine::snapshot() const {
   return metrics_.snapshot(window_.elapsed_seconds());
+}
+
+std::string Engine::prometheus_text(const obs::TraceSession* trace) const {
+  return prometheus_exposition(metrics_, window_.elapsed_seconds(),
+                               trace != nullptr ? trace : options_.trace);
 }
 
 void Engine::reset_metrics() {

@@ -18,6 +18,10 @@
 #include "engine/sim_cache.hpp"
 #include "engine/thread_pool.hpp"
 
+namespace biosens::obs {
+class TraceSession;
+}  // namespace biosens::obs
+
 namespace biosens::engine {
 
 struct EngineOptions {
@@ -37,6 +41,12 @@ struct EngineOptions {
   /// with the cache on or off — it only skips recomputing deterministic
   /// simulation stages whose inputs hash identically.
   std::size_t sim_cache_capacity = 0;
+  /// Optional tracing session (not owned). When set and not already
+  /// active, each run() starts it before the batch and stops it after,
+  /// so the session holds the last batch's trace for export. Tracing
+  /// never touches job Rng streams — results stay byte-identical with
+  /// tracing on or off (docs/observability.md).
+  obs::TraceSession* trace = nullptr;
 };
 
 class Engine {
@@ -69,6 +79,12 @@ class Engine {
   /// Metrics frozen over the wall-clock window since construction or
   /// the last reset_metrics().
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition of the current window; includes the
+  /// per-layer span histograms of `trace` (defaults to options_.trace)
+  /// when available.
+  [[nodiscard]] std::string prometheus_text(
+      const obs::TraceSession* trace = nullptr) const;
 
   void reset_metrics();
 

@@ -4,14 +4,15 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/error.hpp"
+#include "obs/export_prometheus.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::engine {
 namespace {
 
-constexpr double kMinLatency = 1e-6;   // 1 us: bucket 0 upper edge
-constexpr double kDecades = 9.0;       // 1 us .. 1000 s
 constexpr double kNanosPerSecond = 1e9;
+// Below this, a wall clock is noise, not a rate denominator.
+constexpr double kMinWallSeconds = 1e-9;
 
 std::uint64_t to_nanos(double seconds) {
   return static_cast<std::uint64_t>(std::max(seconds, 0.0) *
@@ -24,71 +25,33 @@ std::string format_seconds(double s) {
   return buffer;
 }
 
+double safe_rate(double numerator, double wall_seconds) {
+  if (!(wall_seconds > kMinWallSeconds)) return 0.0;
+  const double rate = numerator / wall_seconds;
+  return std::isfinite(rate) ? rate : 0.0;
+}
+
+/// p50/p95/p99 clamped to the exact recorded max (bucket upper edges
+/// can overshoot the true extreme).
+void fill_quantiles(const LatencyHistogram& h, double& p50, double& p95,
+                    double& p99, double& max) {
+  if (h.count() == 0) return;
+  const double max_s = h.max_seconds();
+  p50 = std::min(h.quantile(0.50), max_s);
+  p95 = std::min(h.quantile(0.95), max_s);
+  p99 = std::min(h.quantile(0.99), max_s);
+  max = max_s;
+}
+
 }  // namespace
 
-double LatencyHistogram::bucket_edge(std::size_t b) {
-  // Log-spaced: edge(b) = 1us * 10^(9 * (b+1) / kBuckets).
-  return kMinLatency *
-         std::pow(10.0, kDecades * static_cast<double>(b + 1) /
-                            static_cast<double>(kBuckets));
+double MetricsSnapshot::jobs_per_second() const {
+  return safe_rate(static_cast<double>(jobs_succeeded + jobs_failed),
+                   wall_seconds);
 }
 
-void LatencyHistogram::record(double seconds) {
-  const double clamped = std::max(seconds, 0.0);
-  std::size_t b = 0;
-  if (clamped > kMinLatency) {
-    const double pos = std::log10(clamped / kMinLatency) *
-                       static_cast<double>(kBuckets) / kDecades;
-    b = std::min(static_cast<std::size_t>(std::max(pos, 0.0)),
-                 kBuckets - 1);
-    // pos sits in bucket floor(pos) whose upper edge is edge(floor(pos)).
-    if (clamped > bucket_edge(b) && b + 1 < kBuckets) ++b;
-  }
-  buckets_[b].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(to_nanos(clamped), std::memory_order_relaxed);
-  // max: CAS loop (rare after warm-up).
-  std::uint64_t nanos = to_nanos(clamped);
-  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
-  while (nanos > seen && !max_nanos_.compare_exchange_weak(
-                             seen, nanos, std::memory_order_relaxed)) {
-  }
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  return count_.load(std::memory_order_relaxed);
-}
-
-double LatencyHistogram::total_seconds() const {
-  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
-         kNanosPerSecond;
-}
-
-double LatencyHistogram::quantile(double q) const {
-  require<NumericsError>(q > 0.0 && q <= 1.0,
-                         "quantile requires q in (0, 1]");
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(n)));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen >= rank) return bucket_edge(b);
-  }
-  return bucket_edge(kBuckets - 1);
-}
-
-double LatencyHistogram::max_seconds() const {
-  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
-         kNanosPerSecond;
-}
-
-void LatencyHistogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  total_nanos_.store(0, std::memory_order_relaxed);
-  max_nanos_.store(0, std::memory_order_relaxed);
+double MetricsSnapshot::utilization() const {
+  return safe_rate(busy_seconds, wall_seconds);
 }
 
 Table MetricsSnapshot::to_table() const {
@@ -115,6 +78,10 @@ Table MetricsSnapshot::to_table() const {
   table.add_row({"attempt_p95_s", format_seconds(attempt_p95_s)});
   table.add_row({"attempt_p99_s", format_seconds(attempt_p99_s)});
   table.add_row({"attempt_max_s", format_seconds(attempt_max_s)});
+  table.add_row({"queue_p50_s", format_seconds(queue_p50_s)});
+  table.add_row({"queue_p95_s", format_seconds(queue_p95_s)});
+  table.add_row({"queue_p99_s", format_seconds(queue_p99_s)});
+  table.add_row({"queue_max_s", format_seconds(queue_max_s)});
   table.add_row({"jobs_per_second", format_seconds(jobs_per_second())});
   table.add_row({"utilization", format_seconds(utilization())});
   return table;
@@ -148,15 +115,10 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   s.backoff_sim_seconds =
       static_cast<double>(backoff_nanos_.load(std::memory_order_relaxed)) /
       kNanosPerSecond;
-  if (attempt_latency.count() > 0) {
-    // Bucket upper edges can overshoot the true extreme; the recorded
-    // max is exact, so clamp the quantiles to it.
-    const double max_s = attempt_latency.max_seconds();
-    s.attempt_p50_s = std::min(attempt_latency.quantile(0.50), max_s);
-    s.attempt_p95_s = std::min(attempt_latency.quantile(0.95), max_s);
-    s.attempt_p99_s = std::min(attempt_latency.quantile(0.99), max_s);
-    s.attempt_max_s = max_s;
-  }
+  fill_quantiles(attempt_latency, s.attempt_p50_s, s.attempt_p95_s,
+                 s.attempt_p99_s, s.attempt_max_s);
+  fill_quantiles(queue_wait, s.queue_p50_s, s.queue_p95_s, s.queue_p99_s,
+                 s.queue_max_s);
   return s;
 }
 
@@ -171,8 +133,62 @@ void MetricsRegistry::reset() {
   cache_misses.reset();
   cache_evictions.reset();
   attempt_latency.reset();
+  queue_wait.reset();
   busy_nanos_.store(0, std::memory_order_relaxed);
   backoff_nanos_.store(0, std::memory_order_relaxed);
+}
+
+std::string prometheus_exposition(const MetricsRegistry& metrics,
+                                  double wall_seconds,
+                                  const obs::TraceSession* trace) {
+  const MetricsSnapshot s = metrics.snapshot(wall_seconds);
+  obs::PrometheusWriter w;
+  w.counter("biosens_jobs_submitted_total", "Jobs submitted to the engine",
+            s.jobs_submitted);
+  w.counter("biosens_jobs_succeeded_total", "Jobs that produced a result",
+            s.jobs_succeeded);
+  w.counter("biosens_jobs_failed_total",
+            "Jobs that exhausted their retry budget", s.jobs_failed);
+  w.counter("biosens_attempts_total", "Total measurement attempts",
+            s.attempts);
+  w.counter("biosens_retries_total", "Attempts beyond the first",
+            s.retries);
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+    std::string labels = "code=\"";
+    labels += to_string(static_cast<ErrorCode>(c));
+    labels += "\"";
+    w.counter("biosens_job_failures_total",
+              "Failed jobs by final attempt error code",
+              s.failures_by_code[c], labels);
+  }
+  // Sim-cache traffic shares the exposition so bench and service report
+  // through one format.
+  w.counter("biosens_sim_cache_hits_total",
+            "Simulation-cache lookups served from memory", s.cache_hits);
+  w.counter("biosens_sim_cache_misses_total",
+            "Simulation-cache lookups that ran the solver",
+            s.cache_misses);
+  w.counter("biosens_sim_cache_evictions_total",
+            "Simulation-cache LRU evictions", s.cache_evictions);
+  w.gauge("biosens_sim_cache_hit_rate",
+          "Fraction of cache lookups served from memory",
+          s.cache_hit_rate());
+  w.gauge("biosens_batch_wall_seconds", "Batch wall-clock time",
+          s.wall_seconds);
+  w.gauge("biosens_batch_busy_seconds", "Summed attempt execution time",
+          s.busy_seconds);
+  w.gauge("biosens_batch_backoff_sim_seconds",
+          "Simulated re-measurement backoff time", s.backoff_sim_seconds);
+  w.gauge("biosens_jobs_per_second", "Completed jobs per wall second",
+          s.jobs_per_second());
+  w.gauge("biosens_utilization", "Mean workers kept busy (busy / wall)",
+          s.utilization());
+  w.histogram("biosens_attempt_seconds", "Measurement attempt latency",
+              metrics.attempt_latency);
+  w.histogram("biosens_queue_wait_seconds",
+              "Job submit to worker-start delta", metrics.queue_wait);
+  if (trace != nullptr) obs::append_layer_metrics(w, *trace);
+  return w.text();
 }
 
 }  // namespace biosens::engine

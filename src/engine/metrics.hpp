@@ -1,82 +1,35 @@
 // Lock-cheap execution metrics: counters, timers, latency histograms.
 //
 // Every batch the engine runs is observable: how many jobs were
-// submitted, succeeded, retried; how long attempts took (p50/p95/p99);
+// submitted, succeeded, retried; how long attempts took (p50/p95/p99)
+// and how long jobs waited in the queue before a worker picked them up;
 // how much wall time the batch consumed versus how much worker time it
 // kept busy. All hot-path instruments are single atomic operations —
 // no locks are taken while jobs execute — and a MetricsSnapshot freezes
 // a consistent, printable view (common/table.hpp) for reports.
+//
+// The instruments themselves (Counter/Stopwatch/LatencyHistogram) live
+// in obs/instruments.hpp, shared with the tracing subsystem; they are
+// re-exported here under their historical names.
 #pragma once
 
 #include <array>
-#include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "common/expected.hpp"
 #include "common/table.hpp"
+#include "obs/instruments.hpp"
+
+namespace biosens::obs {
+class TraceSession;
+}  // namespace biosens::obs
 
 namespace biosens::engine {
 
-/// Monotonic event counter (relaxed atomics; exactness is restored by
-/// the snapshot happening-after the batch barrier).
-class Counter {
- public:
-  void increment(std::uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Wall-clock stopwatch (std::chrono::steady_clock).
-class Stopwatch {
- public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
-  [[nodiscard]] double elapsed_seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// Log-bucketed latency histogram, 1 us .. ~1000 s, atomic buckets.
-///
-/// record() is one atomic increment; quantiles are read from the bucket
-/// counts at snapshot time and reported as the upper edge of the bucket
-/// containing the requested rank (<= 10% relative error by design: 48
-/// buckets over 9 decades).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 48;
-
-  void record(double seconds);
-
-  [[nodiscard]] std::uint64_t count() const;
-  [[nodiscard]] double total_seconds() const;
-  /// Latency below which a fraction `q` (0..1] of recordings fall.
-  [[nodiscard]] double quantile(double q) const;
-  [[nodiscard]] double max_seconds() const;
-  void reset();
-
- private:
-  /// Upper edge of bucket b in seconds.
-  [[nodiscard]] static double bucket_edge(std::size_t b);
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_nanos_{0};
-  std::atomic<std::uint64_t> max_nanos_{0};
-};
+using obs::Counter;
+using obs::LatencyHistogram;
+using obs::Stopwatch;
 
 /// A frozen, printable view of one batch (or one service period).
 struct MetricsSnapshot {
@@ -99,17 +52,18 @@ struct MetricsSnapshot {
   double attempt_p95_s = 0.0;
   double attempt_p99_s = 0.0;
   double attempt_max_s = 0.0;
+  // Queue wait: submit -> worker-start delta per job.
+  double queue_p50_s = 0.0;
+  double queue_p95_s = 0.0;
+  double queue_p99_s = 0.0;
+  double queue_max_s = 0.0;
 
-  [[nodiscard]] double jobs_per_second() const {
-    return wall_seconds > 0.0
-               ? static_cast<double>(jobs_succeeded + jobs_failed) /
-                     wall_seconds
-               : 0.0;
-  }
+  /// Guarded against zero/denormal wall clocks: a snapshot taken
+  /// before any wall time elapsed reports 0, never inf/NaN (these
+  /// values are serialized into bench JSON artifacts).
+  [[nodiscard]] double jobs_per_second() const;
   /// Mean workers kept busy (busy / wall); ~worker count when saturated.
-  [[nodiscard]] double utilization() const {
-    return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0;
-  }
+  [[nodiscard]] double utilization() const;
   /// Fraction of simulation-cache lookups served from memory.
   [[nodiscard]] double cache_hit_rate() const {
     const std::uint64_t lookups = cache_hits + cache_misses;
@@ -138,6 +92,9 @@ class MetricsRegistry {
   Counter cache_misses;
   Counter cache_evictions;
   LatencyHistogram attempt_latency;
+  /// Per-job submit -> worker-start delta (batch_runner records it
+  /// unconditionally; tracing merely adds the async trace events).
+  LatencyHistogram queue_wait;
 
   void record_failure(ErrorCode code) {
     failures_by_code[static_cast<std::size_t>(code)].increment();
@@ -156,5 +113,14 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> busy_nanos_{0};
   std::atomic<std::uint64_t> backoff_nanos_{0};
 };
+
+/// Prometheus text exposition (0.0.4) of the registry: job counters,
+/// failure breakdown, sim-cache traffic, attempt/queue-wait histograms,
+/// throughput/utilization gauges. When `trace` is non-null its
+/// per-layer span histograms are appended, giving bench artifacts and
+/// the batch service one scrape-able format.
+[[nodiscard]] std::string prometheus_exposition(
+    const MetricsRegistry& metrics, double wall_seconds,
+    const obs::TraceSession* trace = nullptr);
 
 }  // namespace biosens::engine

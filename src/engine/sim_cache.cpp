@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "engine/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::engine {
 
@@ -37,9 +38,11 @@ SimCache::ValuePtr SimCache::find(const CacheKey& key) {
   if (value) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->cache_hits.increment();
+    obs::TraceSession::instant(Layer::kEngine, "sim-cache-hit");
   } else {
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->cache_misses.increment();
+    obs::TraceSession::instant(Layer::kEngine, "sim-cache-miss");
   }
   return value;
 }

@@ -1,0 +1,111 @@
+#include "obs/export_chrome.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "obs/json_util.hpp"
+#include "obs/span.hpp"
+
+namespace biosens::obs {
+namespace {
+
+// ts in the trace-event format is microseconds (fractional allowed).
+std::string format_ts(std::uint64_t ts_ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(ts_ns) / 1000.0);
+  return buf;
+}
+
+void append_common_fields(std::string& out, const SpanEvent& event,
+                          std::uint64_t tid) {
+  out += "\"name\":\"";
+  out += json_escape(event.name);
+  out += "\",\"cat\":\"";
+  out += to_string(event.layer);
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  out += format_ts(event.ts_ns);
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSession& session) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  for (const ThreadTrack& track : session.tracks()) {
+    {
+      std::string meta =
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      meta += std::to_string(track.tid);
+      meta += ",\"args\":{\"name\":\"worker-";
+      meta += std::to_string(track.tid);
+      meta += "\"}}";
+      emit(meta);
+    }
+    for (const SpanEvent& event : track.events) {
+      std::string line = "{";
+      switch (event.phase) {
+        case EventPhase::kBegin:
+          line += "\"ph\":\"B\",";
+          append_common_fields(line, event, track.tid);
+          break;
+        case EventPhase::kEnd:
+          line += "\"ph\":\"E\",";
+          append_common_fields(line, event, track.tid);
+          if (event.failed) {
+            line += ",\"args\":{\"error\":\"";
+            line += json_escape(event.detail);
+            line += "\"}";
+          } else if (!event.detail.empty()) {
+            line += ",\"args\":{\"note\":\"";
+            line += json_escape(event.detail);
+            line += "\"}";
+          }
+          break;
+        case EventPhase::kInstant:
+          line += "\"ph\":\"i\",\"s\":\"t\",";
+          append_common_fields(line, event, track.tid);
+          if (!event.detail.empty()) {
+            line += ",\"args\":{\"note\":\"";
+            line += json_escape(event.detail);
+            line += "\"}";
+          }
+          break;
+        case EventPhase::kAsyncBegin:
+        case EventPhase::kAsyncEnd: {
+          line += event.phase == EventPhase::kAsyncBegin
+                      ? "\"ph\":\"b\","
+                      : "\"ph\":\"e\",";
+          append_common_fields(line, event, track.tid);
+          char id[24];
+          std::snprintf(id, sizeof(id), "0x%" PRIx64, event.id);
+          line += ",\"id\":\"";
+          line += id;
+          line += "\"";
+          break;
+        }
+      }
+      line += "}";
+      emit(line);
+    }
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void write_chrome_trace(const TraceSession& session,
+                        const std::string& path) {
+  Table::write_file(path, chrome_trace_json(session));
+}
+
+}  // namespace biosens::obs

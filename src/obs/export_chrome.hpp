@@ -1,0 +1,30 @@
+// Chrome trace-event exporter: renders a TraceSession's collected
+// tracks as the JSON object format (`{"traceEvents": [...]}`) that
+// chrome://tracing and Perfetto's legacy importer load directly.
+//
+// Mapping (docs/observability.md has the full table):
+//  - span begin/end -> "B"/"E" duration events on the recording
+//    thread's tid; failed ends carry args.error with the ErrorInfo
+//    description;
+//  - instants -> "i" with thread scope;
+//  - async pairs (queue wait) -> "b"/"e" with a shared hex id;
+//  - one "M" thread_name metadata event per track.
+// Timestamps are microseconds since the session epoch.
+#pragma once
+
+#include <string>
+
+namespace biosens::obs {
+
+class TraceSession;
+
+/// The full trace JSON document (pretty enough to diff: one event per
+/// line).
+[[nodiscard]] std::string chrome_trace_json(const TraceSession& session);
+
+/// Renders and writes to `path` (throws common::Error on I/O failure,
+/// like the other artifact writers).
+void write_chrome_trace(const TraceSession& session,
+                        const std::string& path);
+
+}  // namespace biosens::obs

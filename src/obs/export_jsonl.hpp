@@ -1,0 +1,18 @@
+// JSONL event-log exporter: one JSON object per line per recorded
+// event, in per-thread chronological order. The post-mortem format —
+// greppable (`grep '"failed":true'`), streamable, and trivially
+// parseable line-by-line without loading the whole trace.
+#pragma once
+
+#include <string>
+
+namespace biosens::obs {
+
+class TraceSession;
+
+[[nodiscard]] std::string jsonl_events(const TraceSession& session);
+
+void write_jsonl_events(const TraceSession& session,
+                        const std::string& path);
+
+}  // namespace biosens::obs

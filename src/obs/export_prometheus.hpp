@@ -1,0 +1,54 @@
+// Prometheus-style text exposition (version 0.0.4): counters, gauges,
+// and histograms with cumulative `le` buckets.
+//
+// PrometheusWriter is the format layer; the engine composes the actual
+// exposition (engine::prometheus_exposition renders MetricsRegistry
+// counters, queue-wait and attempt histograms, and sim-cache counters),
+// and append_layer_metrics adds the per-layer latency attribution a
+// TraceSession collected. One format for bench artifacts and the batch
+// service's --metrics-out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace biosens::obs {
+
+class LatencyHistogram;
+class TraceSession;
+
+/// Appends metric families to a text buffer. # HELP / # TYPE headers
+/// are emitted once per family name (repeat calls with the same family
+/// and different labels just append samples).
+class PrometheusWriter {
+ public:
+  /// `help` is used the first time a family name is seen.
+  void counter(std::string_view family, std::string_view help,
+               std::uint64_t value, std::string_view labels = {});
+  void gauge(std::string_view family, std::string_view help,
+             double value, std::string_view labels = {});
+  /// Cumulative buckets up to the last occupied edge plus le="+Inf",
+  /// then _sum and _count, all carrying `labels`.
+  void histogram(std::string_view family, std::string_view help,
+                 const LatencyHistogram& histogram,
+                 std::string_view labels = {});
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  void header(std::string_view family, std::string_view help,
+              std::string_view type);
+  void sample(std::string_view name, std::string_view labels,
+              std::string_view value);
+
+  std::string text_;
+  std::string seen_families_;  // ",family," markers
+};
+
+/// Per-layer latency histograms and failure counters from a trace
+/// session (layers with no recorded spans are skipped).
+void append_layer_metrics(PrometheusWriter& writer,
+                          const TraceSession& session);
+
+}  // namespace biosens::obs

@@ -1,0 +1,91 @@
+#include "obs/instruments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace biosens::obs {
+namespace {
+
+constexpr double kMinLatency = 1e-6;   // 1 us: bucket 0 upper edge
+constexpr double kDecades = 9.0;       // 1 us .. 1000 s
+constexpr double kNanosPerSecond = 1e9;
+
+std::uint64_t to_nanos(double seconds) {
+  return static_cast<std::uint64_t>(std::max(seconds, 0.0) *
+                                    kNanosPerSecond);
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_edge(std::size_t b) {
+  // Log-spaced: edge(b) = 1us * 10^(9 * (b+1) / kBuckets).
+  return kMinLatency *
+         std::pow(10.0, kDecades * static_cast<double>(b + 1) /
+                            static_cast<double>(kBuckets));
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t b) const {
+  return b < kBuckets ? buckets_[b].load(std::memory_order_relaxed) : 0;
+}
+
+void LatencyHistogram::record(double seconds) {
+  const double clamped = std::max(seconds, 0.0);
+  std::size_t b = 0;
+  if (clamped > kMinLatency) {
+    const double pos = std::log10(clamped / kMinLatency) *
+                       static_cast<double>(kBuckets) / kDecades;
+    b = std::min(static_cast<std::size_t>(std::max(pos, 0.0)),
+                 kBuckets - 1);
+    // pos sits in bucket floor(pos) whose upper edge is edge(floor(pos)).
+    if (clamped > bucket_edge(b) && b + 1 < kBuckets) ++b;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(to_nanos(clamped), std::memory_order_relaxed);
+  // max: CAS loop (rare after warm-up).
+  std::uint64_t nanos = to_nanos(clamped);
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerSecond;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  // Clamped, never-throwing: a scrape or export must not crash on a
+  // degenerate argument (see the header's edge contract).
+  if (!(q > 0.0)) return 0.0;
+  q = std::min(q, 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_edge(b);
+  }
+  return bucket_edge(kBuckets - 1);
+}
+
+double LatencyHistogram::max_seconds() const {
+  return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) /
+         kNanosPerSecond;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace biosens::obs

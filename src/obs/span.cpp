@@ -1,0 +1,248 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace biosens::obs {
+namespace {
+
+// Bumped on every TraceSession::start(); lets a thread detect that its
+// cached buffer pointer belongs to a dead recording window without
+// touching the session it points at.
+std::atomic<std::uint64_t> g_session_generation{0};
+
+struct ThreadSlot {
+  TraceSession* session = nullptr;
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+
+ThreadSlot& thread_slot() {
+  thread_local ThreadSlot slot;
+  return slot;
+}
+
+constexpr double kNanosPerSecond = 1e9;
+
+}  // namespace
+
+std::string_view to_string(EventPhase phase) {
+  switch (phase) {
+    case EventPhase::kBegin: return "begin";
+    case EventPhase::kEnd: return "end";
+    case EventPhase::kInstant: return "instant";
+    case EventPhase::kAsyncBegin: return "async-begin";
+    case EventPhase::kAsyncEnd: return "async-end";
+  }
+  return "unknown";
+}
+
+std::atomic<TraceSession*>& TraceSession::current_session() {
+  static std::atomic<TraceSession*> current{nullptr};
+  return current;
+}
+
+TraceSession::TraceSession(TraceSessionOptions options)
+    : options_(options) {}
+
+TraceSession::~TraceSession() { stop(); }
+
+void TraceSession::start() {
+  if (active_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.clear();
+  }
+  for (auto& h : layer_latency_) h.reset();
+  for (auto& c : layer_failures_) c.reset();
+  spans_.store(0, std::memory_order_relaxed);
+  failed_spans_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  generation_ =
+      g_session_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  epoch_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_relaxed);
+  current_session().store(this, std::memory_order_release);
+}
+
+void TraceSession::stop() {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  TraceSession* expected = this;
+  current_session().compare_exchange_strong(expected, nullptr,
+                                            std::memory_order_acq_rel);
+  active_.store(false, std::memory_order_relaxed);
+  // Events stay in buffers_ for export; the next start() clears them.
+}
+
+std::uint64_t TraceSession::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
+  ThreadSlot& slot = thread_slot();
+  if (slot.session == this && slot.generation == generation_) {
+    return static_cast<ThreadBuffer*>(slot.buffer);
+  }
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buffer = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffer->tid = buffers_.size() + 1;
+    buffers_.push_back(std::move(owned));
+  }
+  slot.session = this;
+  slot.generation = generation_;
+  slot.buffer = buffer;
+  return buffer;
+}
+
+void TraceSession::emit_span_event(SpanEvent&& event) {
+  ThreadBuffer* buffer = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  if (buffer->events.size() >= options_.max_events_per_thread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceSession::record_span(Layer layer, double seconds, bool failed) {
+  const auto index = static_cast<std::size_t>(layer);
+  if (index < kLayerCount) {
+    layer_latency_[index].record(seconds);
+    if (failed) layer_failures_[index].increment();
+  }
+  spans_.fetch_add(1, std::memory_order_relaxed);
+  if (failed) failed_spans_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSession::instant(Layer layer, std::string_view name,
+                           std::string_view detail) {
+  TraceSession* session = current();
+  if (session == nullptr) return;
+  SpanEvent event;
+  event.phase = EventPhase::kInstant;
+  event.layer = layer;
+  event.name = std::string(name);
+  event.ts_ns = session->now_ns();
+  event.detail = std::string(detail);
+  session->emit_span_event(std::move(event));
+}
+
+void TraceSession::async_begin(Layer layer, std::string_view name,
+                               std::uint64_t id) {
+  TraceSession* session = current();
+  if (session == nullptr) return;
+  SpanEvent event;
+  event.phase = EventPhase::kAsyncBegin;
+  event.layer = layer;
+  event.name = std::string(name);
+  event.ts_ns = session->now_ns();
+  event.id = id;
+  session->emit_span_event(std::move(event));
+}
+
+void TraceSession::async_end(Layer layer, std::string_view name,
+                             std::uint64_t id) {
+  TraceSession* session = current();
+  if (session == nullptr) return;
+  SpanEvent event;
+  event.phase = EventPhase::kAsyncEnd;
+  event.layer = layer;
+  event.name = std::string(name);
+  event.ts_ns = session->now_ns();
+  event.id = id;
+  session->emit_span_event(std::move(event));
+}
+
+std::vector<ThreadTrack> TraceSession::tracks() const {
+  std::vector<ThreadTrack> out;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  out.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    ThreadTrack track;
+    track.tid = buffer->tid;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      track.events = buffer->events;
+    }
+    out.push_back(std::move(track));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ThreadTrack& a, const ThreadTrack& b) {
+              return a.tid < b.tid;
+            });
+  return out;
+}
+
+const LatencyHistogram& TraceSession::layer_latency(Layer layer) const {
+  const auto index = static_cast<std::size_t>(layer);
+  return layer_latency_[std::min(index, kLayerCount - 1)];
+}
+
+std::uint64_t TraceSession::layer_failures(Layer layer) const {
+  const auto index = static_cast<std::size_t>(layer);
+  return layer_failures_[std::min(index, kLayerCount - 1)].value();
+}
+
+std::uint64_t TraceSession::event_count() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> registry_lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+ObsSpan::ObsSpan(Layer layer, std::string_view name,
+                 std::string_view detail)
+    : session_(TraceSession::current()) {
+  if (session_ == nullptr) return;
+  layer_ = layer;
+  name_ = std::string(name);
+  if (!detail.empty()) {
+    name_ += " ";
+    name_ += detail;
+  }
+  begin_ns_ = session_->now_ns();
+  SpanEvent event;
+  event.phase = EventPhase::kBegin;
+  event.layer = layer_;
+  event.name = name_;
+  event.ts_ns = begin_ns_;
+  session_->emit_span_event(std::move(event));
+}
+
+ObsSpan::~ObsSpan() {
+  if (session_ == nullptr) return;
+  const std::uint64_t end_ns = session_->now_ns();
+  SpanEvent event;
+  event.phase = EventPhase::kEnd;
+  event.layer = layer_;
+  event.name = std::move(name_);
+  event.ts_ns = end_ns;
+  event.failed = failed_;
+  event.detail = std::move(detail_);
+  session_->emit_span_event(std::move(event));
+  session_->record_span(
+      layer_,
+      static_cast<double>(end_ns - begin_ns_) / kNanosPerSecond, failed_);
+}
+
+void ObsSpan::fail(const ErrorInfo& error) {
+  if (session_ == nullptr) return;
+  failed_ = true;
+  detail_ = error.describe();
+}
+
+void ObsSpan::annotate(std::string_view note) {
+  if (session_ == nullptr) return;
+  if (!detail_.empty()) detail_ += "; ";
+  detail_ += note;
+}
+
+}  // namespace biosens::obs

@@ -1,0 +1,222 @@
+// Cross-layer tracing: RAII spans through the measurement stack.
+//
+// A TraceSession is the runtime toggle: while one is installed as the
+// process-wide current session, every ObsSpan constructed anywhere in
+// the library (chem validation, transport stepping, electrochem sweeps,
+// the readout chain, analysis, the engine's job lifecycle) records a
+// begin/end event pair onto the constructing thread's event buffer and
+// feeds the session's per-layer latency histograms. While no session is
+// installed, constructing an ObsSpan costs one relaxed atomic load and
+// allocates nothing — the overhead contract that lets the spans live
+// permanently in the hot measurement pipeline (docs/observability.md).
+//
+// Event collection is per-thread: each thread lazily registers one
+// buffer with the session (a mutex is taken only at registration and at
+// export), so worker threads never contend while tracing. Exporters
+// (export_chrome/export_jsonl/export_prometheus) turn the collected
+// tracks into Chrome trace-event JSON, JSONL event logs, and
+// Prometheus-style histogram expositions.
+//
+// Failed spans are annotated from the Expected ErrorInfo that caused
+// the failure — the stage/context vocabulary of docs/errors.md — so a
+// trace shows *where time went* and *where errors came from* in the
+// same terms.
+//
+// Raw span-event emission is confined to this subsystem: the only way
+// to open and close a span outside src/obs/ is the ObsSpan RAII type
+// (enforced by friendship here and by the ci/check.sh lint).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "obs/instruments.hpp"
+
+namespace biosens::obs {
+
+/// What one recorded event marks. Begin/End always come in nested pairs
+/// per thread (RAII); async pairs (queue wait) are correlated by id and
+/// may begin and end on different threads; instants are points.
+enum class EventPhase : std::uint8_t {
+  kBegin,
+  kEnd,
+  kInstant,
+  kAsyncBegin,
+  kAsyncEnd,
+};
+
+[[nodiscard]] std::string_view to_string(EventPhase phase);
+
+/// One recorded trace event.
+struct SpanEvent {
+  EventPhase phase = EventPhase::kInstant;
+  Layer layer = Layer::kCommon;
+  std::string name;
+  std::uint64_t ts_ns = 0;  ///< steady-clock ns since the session epoch
+  std::uint64_t id = 0;     ///< async correlation id (job index)
+  bool failed = false;      ///< kEnd only: the span's operation failed
+  std::string detail;       ///< ErrorInfo::describe() or an annotation
+};
+
+/// All events one thread recorded, in chronological (append) order.
+struct ThreadTrack {
+  std::uint64_t tid = 0;  ///< stable registration order, 1-based
+  std::vector<SpanEvent> events;
+};
+
+struct TraceSessionOptions {
+  /// Hard cap per thread buffer; events beyond it are counted in
+  /// dropped_events() instead of growing without bound.
+  std::size_t max_events_per_thread = 1u << 20;
+};
+
+/// A bounded recording window. start() installs the session as the
+/// process-wide current session (at most one may be active) and clears
+/// any previously collected events; stop() uninstalls it and leaves the
+/// events in place for export. start()/stop() must not race with
+/// in-flight instrumented work — call them at batch boundaries, as
+/// Engine::run does for EngineOptions::trace.
+class TraceSession {
+ public:
+  explicit TraceSession(TraceSessionOptions options = {});
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// The installed session, or nullptr while tracing is disabled. One
+  /// relaxed-ish atomic load: the whole disabled-path cost of a span.
+  [[nodiscard]] static TraceSession* current() {
+    return current_session().load(std::memory_order_acquire);
+  }
+
+  /// Steady-clock nanoseconds since this session's start().
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Point event on the calling thread's track; no-ops when no session
+  /// is installed. Used for sim-cache hits/misses and retry backoffs.
+  static void instant(Layer layer, std::string_view name,
+                      std::string_view detail = {});
+
+  /// Async interval correlated by (name, id); begin and end may run on
+  /// different threads (queue wait: submitted on the producer, started
+  /// on a worker). No-ops when no session is installed.
+  static void async_begin(Layer layer, std::string_view name,
+                          std::uint64_t id);
+  static void async_end(Layer layer, std::string_view name,
+                        std::uint64_t id);
+
+  /// Snapshot of every thread's events, ordered by tid. Safe while
+  /// active (locks each buffer briefly); call after the instrumented
+  /// work completed for a consistent trace.
+  [[nodiscard]] std::vector<ThreadTrack> tracks() const;
+
+  /// Inclusive latency of completed spans per layer — the attribution
+  /// the Prometheus exporter exposes. Nested spans each count toward
+  /// their own layer (a chem span inside an electrochem span adds to
+  /// both), so layer totals are inclusive, not a partition.
+  [[nodiscard]] const LatencyHistogram& layer_latency(Layer layer) const;
+  [[nodiscard]] std::uint64_t layer_failures(Layer layer) const;
+
+  [[nodiscard]] std::uint64_t span_count() const {
+    return spans_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failed_span_count() const {
+    return failed_spans_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t event_count() const;
+  [[nodiscard]] std::uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class ObsSpan;
+
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::uint64_t tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  static std::atomic<TraceSession*>& current_session();
+
+  /// The raw emission primitive. Private on purpose: outside src/obs/
+  /// only the ObsSpan RAII type (a friend) and the static helpers above
+  /// may create events — enforced here and linted by ci/check.sh.
+  void emit_span_event(SpanEvent&& event);
+  void record_span(Layer layer, double seconds, bool failed);
+  ThreadBuffer* buffer_for_this_thread();
+
+  TraceSessionOptions options_;
+  std::atomic<bool> active_{false};
+  std::uint64_t generation_ = 0;
+  std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::array<LatencyHistogram, kLayerCount> layer_latency_{};
+  std::array<Counter, kLayerCount> layer_failures_{};
+  std::atomic<std::uint64_t> spans_{0};
+  std::atomic<std::uint64_t> failed_spans_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII span: begin event at construction, end event at destruction,
+/// duration into the session's per-layer histogram. The ONLY way to
+/// open a span outside src/obs/.
+///
+/// Disabled path (no current session): one atomic load, no allocation,
+/// no clock read, and every member call is an immediate return.
+class ObsSpan {
+ public:
+  /// `detail` is appended to the span name ("measure" + sensor name);
+  /// the concatenation only happens when tracing is enabled, so call
+  /// sites may pass names they would not want to build per-call.
+  explicit ObsSpan(Layer layer, std::string_view name,
+                   std::string_view detail = {});
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Marks the span failed and annotates it with the structured error's
+  /// one-line description (layer/stage/code/context chain).
+  void fail(const ErrorInfo& error);
+
+  /// Appends a free-form note to the span ("qc-reject", cache state).
+  void annotate(std::string_view note);
+
+  /// Pass-through observer for Expected-returning stages: marks the
+  /// span failed when `e` holds an error, then hands `e` back, so call
+  /// sites stay one-liners: `auto run = span.watch(sim.try_run());`.
+  template <class E>
+  [[nodiscard]] E watch(E e) {
+    if (session_ != nullptr && !e.has_value()) fail(e.error());
+    return e;
+  }
+
+  [[nodiscard]] bool enabled() const { return session_ != nullptr; }
+
+ private:
+  TraceSession* session_;
+  Layer layer_ = Layer::kCommon;
+  std::uint64_t begin_ns_ = 0;
+  std::string name_;
+  std::string detail_;
+  bool failed_ = false;
+};
+
+}  // namespace biosens::obs

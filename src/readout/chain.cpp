@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace biosens::readout {
 
@@ -28,7 +29,8 @@ electrochem::TimeSeries SignalChain::acquire(
 Expected<electrochem::TimeSeries> SignalChain::try_acquire(
     const electrochem::TimeSeries& ideal, const NoiseSpec& noise,
     Rng& rng) const {
-  if (auto v = ideal.try_validate(); !v) {
+  obs::ObsSpan span(Layer::kReadout, "acquire-trace");
+  if (auto v = span.watch(ideal.try_validate()); !v) {
     return ctx("acquire", Expected<electrochem::TimeSeries>(v.error()));
   }
   BIOSENS_EXPECT(ideal.size() >= 2, ErrorCode::kAnalysis, Layer::kReadout,
@@ -67,7 +69,8 @@ electrochem::Voltammogram SignalChain::acquire(
 Expected<electrochem::Voltammogram> SignalChain::try_acquire(
     const electrochem::Voltammogram& ideal, const NoiseSpec& noise,
     Rng& rng) const {
-  if (auto v = ideal.try_validate(); !v) {
+  obs::ObsSpan span(Layer::kReadout, "acquire-voltammogram");
+  if (auto v = span.watch(ideal.try_validate()); !v) {
     return ctx("acquire", Expected<electrochem::Voltammogram>(v.error()));
   }
   BIOSENS_EXPECT(ideal.size() >= 2, ErrorCode::kAnalysis, Layer::kReadout,

@@ -369,7 +369,7 @@ TEST(Metrics, SnapshotRendersAsTable) {
   registry.attempt_latency.record(0.010);
   const Table table = registry.snapshot(1.0).to_table();
   EXPECT_EQ(table.columns(), 2u);
-  EXPECT_EQ(table.rows(), 23u);  // 18 base + one row per error code
+  EXPECT_EQ(table.rows(), 27u);  // 22 base + one row per error code
   EXPECT_NE(table.to_markdown().find("jobs_submitted"), std::string::npos);
   EXPECT_NE(table.to_markdown().find("cache_hit_rate"), std::string::npos);
   EXPECT_NE(table.to_markdown().find("failed_spec"), std::string::npos);
@@ -394,11 +394,15 @@ TEST(Metrics, HistogramQuantilesAreOrderedAndApproximate) {
   EXPECT_NEAR(histogram.total_seconds(), 50.05, 0.01);
 }
 
-TEST(Metrics, QuantileRejectsOutOfRangeArguments) {
+TEST(Metrics, QuantileClampsOutOfRangeArguments) {
+  // Degenerate quantile arguments clamp instead of throwing: exporters
+  // scrape histograms live and must never crash a service
+  // (obs/instruments.hpp documents the edge contract).
   LatencyHistogram histogram;
   histogram.record(0.001);
-  EXPECT_THROW((void)histogram.quantile(0.0), NumericsError);
-  EXPECT_THROW((void)histogram.quantile(1.5), NumericsError);
+  EXPECT_EQ(histogram.quantile(0.0), 0.0);
+  EXPECT_EQ(histogram.quantile(-1.0), 0.0);
+  EXPECT_EQ(histogram.quantile(1.5), histogram.quantile(1.0));
 }
 
 TEST(RetryPolicy, ExponentialBackoffWithCeiling) {

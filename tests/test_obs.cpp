@@ -1,0 +1,397 @@
+// Observability subsystem: span/session mechanics, histogram edge
+// contract, exporter structure, and the central non-perturbation
+// guarantee — tracing must never change batch results.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "engine/engine.hpp"
+#include "obs/export_chrome.hpp"
+#include "obs/export_jsonl.hpp"
+#include "obs/export_prometheus.hpp"
+#include "obs/instruments.hpp"
+#include "obs/span.hpp"
+
+namespace biosens::obs {
+namespace {
+
+TEST(LatencyHistogramEdges, BucketEdgesAreStrictlyIncreasing) {
+  double previous = 0.0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const double edge = LatencyHistogram::bucket_edge(b);
+    EXPECT_GT(edge, previous) << "bucket " << b;
+    previous = edge;
+  }
+  EXPECT_NEAR(LatencyHistogram::bucket_edge(0), 1e-6 * 1.54, 1e-6);
+  EXPECT_NEAR(
+      LatencyHistogram::bucket_edge(LatencyHistogram::kBuckets - 1), 1e3,
+      1.0);
+}
+
+TEST(LatencyHistogramEdges, EmptyHistogramReportsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_EQ(h.max_seconds(), 0.0);
+  EXPECT_EQ(h.total_seconds(), 0.0);
+}
+
+TEST(LatencyHistogramEdges, SingleSampleQuantiles) {
+  LatencyHistogram h;
+  h.record(0.002);
+  // Every q > 0 lands on the single sample's bucket edge; q <= 0 is 0.
+  const double edge = h.quantile(1.0);
+  EXPECT_GT(edge, 0.002 / 1.6);
+  EXPECT_LT(edge, 0.002 * 1.6);
+  EXPECT_EQ(h.quantile(0.001), edge);
+  EXPECT_EQ(h.quantile(0.5), edge);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(-3.0), 0.0);
+  EXPECT_EQ(h.quantile(7.0), edge);  // clamped to q=1
+}
+
+TEST(LatencyHistogramEdges, BucketCountsMatchRecordings) {
+  LatencyHistogram h;
+  h.record(1e-5);
+  h.record(1e-5);
+  h.record(10.0);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    total += h.bucket_count(b);
+  }
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kBuckets + 7), 0u);
+}
+
+TEST(TraceSessionTest, SpansAreNoOpsWithoutASession) {
+  ASSERT_EQ(TraceSession::current(), nullptr);
+  {
+    ObsSpan span(Layer::kChem, "orphan");
+    EXPECT_FALSE(span.enabled());
+    span.annotate("ignored");
+  }
+  TraceSession::instant(Layer::kEngine, "orphan-instant");
+  // Nothing to assert beyond "did not crash": there is no session to
+  // accumulate anything into.
+}
+
+TEST(TraceSessionTest, RecordsBalancedSpansAndLayerLatency) {
+  TraceSession session;
+  session.start();
+  {
+    ObsSpan outer(Layer::kCore, "outer");
+    ObsSpan inner(Layer::kChem, "inner");
+    EXPECT_TRUE(inner.enabled());
+  }
+  TraceSession::instant(Layer::kEngine, "tick", "note");
+  session.stop();
+
+  EXPECT_EQ(session.span_count(), 2u);
+  EXPECT_EQ(session.failed_span_count(), 0u);
+  EXPECT_EQ(session.event_count(), 5u);  // 2 B + 2 E + 1 instant
+  EXPECT_EQ(session.layer_latency(Layer::kCore).count(), 1u);
+  EXPECT_EQ(session.layer_latency(Layer::kChem).count(), 1u);
+  EXPECT_EQ(session.layer_latency(Layer::kReadout).count(), 0u);
+
+  const auto tracks = session.tracks();
+  ASSERT_EQ(tracks.size(), 1u);
+  int depth = 0;
+  for (const SpanEvent& event : tracks[0].events) {
+    if (event.phase == EventPhase::kBegin) ++depth;
+    if (event.phase == EventPhase::kEnd) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceSessionTest, FailedSpanCarriesErrorDescription) {
+  TraceSession session;
+  session.start();
+  {
+    ObsSpan span(Layer::kAnalysis, "fit");
+    span.fail(make_error(ErrorCode::kAnalysis, Layer::kAnalysis,
+                         "calibrate", "slope is not positive"));
+  }
+  session.stop();
+  EXPECT_EQ(session.failed_span_count(), 1u);
+  EXPECT_EQ(session.layer_failures(Layer::kAnalysis), 1u);
+
+  const auto tracks = session.tracks();
+  ASSERT_EQ(tracks.size(), 1u);
+  const SpanEvent& end = tracks[0].events.back();
+  EXPECT_EQ(end.phase, EventPhase::kEnd);
+  EXPECT_TRUE(end.failed);
+  EXPECT_NE(end.detail.find("[analysis/calibrate]"), std::string::npos);
+  EXPECT_NE(end.detail.find("slope is not positive"), std::string::npos);
+}
+
+TEST(TraceSessionTest, WatchMarksFailureAndPassesValueThrough) {
+  TraceSession session;
+  session.start();
+  {
+    ObsSpan span(Layer::kReadout, "stage");
+    Expected<int> good = span.watch(Expected<int>(7));
+    EXPECT_EQ(good.value(), 7);
+    Expected<int> bad = span.watch(Expected<int>(make_error(
+        ErrorCode::kNumerics, Layer::kReadout, "acquire", "saturated")));
+    EXPECT_FALSE(bad.has_value());
+  }
+  session.stop();
+  EXPECT_EQ(session.failed_span_count(), 1u);
+}
+
+TEST(TraceSessionTest, RestartClearsPreviousEvents) {
+  TraceSession session;
+  session.start();
+  { ObsSpan span(Layer::kCore, "first"); }
+  session.stop();
+  EXPECT_EQ(session.event_count(), 2u);
+
+  session.start();
+  session.stop();
+  EXPECT_EQ(session.event_count(), 0u);
+  EXPECT_EQ(session.span_count(), 0u);
+  EXPECT_EQ(session.layer_latency(Layer::kCore).count(), 0u);
+}
+
+TEST(ExporterTest, ChromeTraceHasMetadataAndBalancedPairs) {
+  TraceSession session;
+  session.start();
+  {
+    ObsSpan span(Layer::kElectrochem, "cv-sweep");
+    ObsSpan nested(Layer::kChem, "validate \"x\"\n");
+  }
+  TraceSession::async_begin(Layer::kEngine, "queue-wait", 3);
+  TraceSession::async_end(Layer::kEngine, "queue-wait", 3);
+  session.stop();
+
+  const std::string json = chrome_trace_json(session);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"electrochem\""), std::string::npos);
+  // Escaped quote and newline from the span detail.
+  EXPECT_NE(json.find("validate \\\"x\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x3\""), std::string::npos);
+
+  std::size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos) {
+    ++begins;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos) {
+    ++ends;
+    pos += 8;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+}
+
+TEST(ExporterTest, JsonlEmitsOneLinePerEvent) {
+  TraceSession session;
+  session.start();
+  { ObsSpan span(Layer::kCore, "measure"); }
+  TraceSession::instant(Layer::kEngine, "sim-cache-hit");
+  session.stop();
+
+  const std::string jsonl = jsonl_events(session);
+  std::size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, session.event_count());
+  EXPECT_NE(jsonl.find("\"phase\":\"instant\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"failed\":false"), std::string::npos);
+}
+
+TEST(ExporterTest, PrometheusHistogramIsCumulativeWithInfBucket) {
+  LatencyHistogram h;
+  h.record(1e-5);
+  h.record(1e-4);
+  h.record(1e-4);
+
+  PrometheusWriter writer;
+  writer.histogram("test_seconds", "help text", h, "layer=\"chem\"");
+  const std::string text = writer.text();
+
+  EXPECT_NE(text.find("# HELP test_seconds help text"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("test_seconds_sum{layer=\"chem\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_seconds_count{layer=\"chem\"} 3"),
+            std::string::npos);
+
+  // Bucket samples must be cumulative: the +Inf value equals count().
+  std::uint64_t previous = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("test_seconds_bucket", pos)) !=
+         std::string::npos) {
+    const std::size_t space = text.find(' ', text.find('}', pos));
+    const std::uint64_t value = std::stoull(text.substr(space + 1));
+    EXPECT_GE(value, previous);
+    previous = value;
+    pos = space;
+  }
+  EXPECT_EQ(previous, 3u);
+}
+
+TEST(ExporterTest, HelpAndTypeEmittedOncePerFamily) {
+  PrometheusWriter writer;
+  writer.counter("biosens_failures_total", "failures", 1, "code=\"spec\"");
+  writer.counter("biosens_failures_total", "failures", 2,
+                 "code=\"numerics\"");
+  const std::string text = writer.text();
+  EXPECT_EQ(text.find("# HELP biosens_failures_total"),
+            text.rfind("# HELP biosens_failures_total"));
+  EXPECT_NE(text.find("biosens_failures_total{code=\"numerics\"} 2"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace biosens::obs
+
+namespace biosens::core {
+namespace {
+
+Platform small_platform() {
+  Platform p;
+  p.add_sensor(entry_or_throw("MWCNT/Nafion + GOD (this work)"));
+  return p;
+}
+
+std::string fingerprint(const std::vector<PanelReport>& reports) {
+  std::string out;
+  char cell[64];
+  for (const PanelReport& report : reports) {
+    for (const AssayResult& r : report.results) {
+      std::snprintf(cell, sizeof(cell), "%.17g|%.17g;", r.response_a,
+                    r.estimated.milli_molar());
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<chem::Sample> glucose_samples(std::size_t count) {
+  std::vector<chem::Sample> samples;
+  Rng levels(77);
+  for (std::size_t i = 0; i < count; ++i) {
+    chem::Sample s = chem::blank_sample();
+    s.set("glucose", Concentration::milli_molar(levels.uniform(0.2, 0.8)));
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+class TracedBatch : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    platform_ = small_platform();
+    ProtocolOptions o;
+    o.blank_repeats = 8;
+    o.replicates = 1;
+    Rng rng(2012);
+    platform_.calibrate_all(rng, o);
+    samples_ = glucose_samples(6);
+  }
+
+  Platform platform_;
+  std::vector<chem::Sample> samples_;
+};
+
+TEST_F(TracedBatch, TracingDoesNotPerturbResults) {
+  PanelBatchOptions options;
+  options.seed = 99;
+
+  engine::Engine untraced;
+  const std::string baseline =
+      fingerprint(platform_.run_panel_batch(samples_, untraced, options)
+                      .reports);
+
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{8}}) {
+    obs::TraceSession session;
+    engine::EngineOptions eo;
+    eo.workers = workers;
+    eo.trace = &session;
+    engine::Engine traced(eo);
+    const std::string fp = fingerprint(
+        platform_.run_panel_batch(samples_, traced, options).reports);
+    EXPECT_EQ(fp, baseline) << "tracing perturbed results at " << workers
+                            << " workers";
+    EXPECT_GT(session.span_count(), 0u);
+  }
+}
+
+TEST_F(TracedBatch, EngineStartsAndStopsItsTraceSession) {
+  obs::TraceSession session;
+  engine::EngineOptions eo;
+  eo.trace = &session;
+  engine::Engine engine(eo);
+
+  EXPECT_FALSE(session.active());
+  platform_.run_panel_batch(samples_, engine, {});
+  EXPECT_FALSE(session.active());  // stopped after the batch...
+  EXPECT_GT(session.event_count(), 0u);  // ...with the events retained
+
+  // The trace covers every instrumented layer of the glucose pipeline.
+  for (const Layer layer :
+       {Layer::kChem, Layer::kTransport, Layer::kElectrochem,
+        Layer::kReadout, Layer::kCore, Layer::kEngine}) {
+    EXPECT_GT(session.layer_latency(layer).count(), 0u)
+        << "no spans recorded for layer " << to_string(layer);
+  }
+}
+
+TEST_F(TracedBatch, QueueWaitIsRecordedIndependentlyOfTracing) {
+  engine::Engine engine(engine::EngineOptions{.workers = 2});
+  platform_.run_panel_batch(samples_, engine, {});
+  const engine::MetricsSnapshot s = engine.snapshot();
+  EXPECT_EQ(engine.metrics().queue_wait.count(), samples_.size());
+  EXPECT_GE(s.queue_p95_s, s.queue_p50_s);
+  EXPECT_GE(s.queue_max_s, s.queue_p99_s);
+}
+
+TEST_F(TracedBatch, PrometheusTextCoversMetricsAndLayers) {
+  obs::TraceSession session;
+  engine::EngineOptions eo;
+  eo.sim_cache_capacity = 64;
+  eo.trace = &session;
+  engine::Engine engine(eo);
+  platform_.run_panel_batch(samples_, engine, {});
+
+  const std::string text = engine.prometheus_text();
+  EXPECT_NE(text.find("biosens_jobs_succeeded_total"), std::string::npos);
+  EXPECT_NE(text.find("biosens_sim_cache_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("biosens_sim_cache_misses_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("biosens_attempt_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(text.find("biosens_queue_wait_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("biosens_layer_span_seconds_bucket{layer=\"core\""),
+            std::string::npos);
+}
+
+TEST(MetricsGuards, ZeroWallClockYieldsFiniteRates) {
+  engine::MetricsRegistry metrics;
+  metrics.jobs_succeeded.increment(10);
+  metrics.add_busy_seconds(1.0);
+  for (const double wall : {0.0, 1e-12, -1.0}) {
+    const engine::MetricsSnapshot s = metrics.snapshot(wall);
+    EXPECT_EQ(s.jobs_per_second(), 0.0) << "wall=" << wall;
+    EXPECT_EQ(s.utilization(), 0.0) << "wall=" << wall;
+  }
+}
+
+}  // namespace
+}  // namespace biosens::core
