@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# CI gate: exception-discipline + span-discipline lint, Release build +
-# full test suite, a ThreadSanitizer build of the concurrency-bearing
-# tests to catch data races in the engine's worker pool, an
-# UndefinedBehaviorSanitizer build of the error-path tests, a perf
-# smoke of the hot simulation kernels against the committed
-# BENCH_sim.json baseline, and a traced smoke batch that validates the
-# observability exporters structurally. Run from the repository root:
+# CI gate for the measurement stack (docs/static-analysis.md):
+#   1. biosens-lint       AST/token-level invariant checks + fixture
+#                         self-test (throw/span/determinism/Expected/
+#                         hot-path discipline)
+#   2. clang-format       check-only formatting gate (skips with a
+#                         notice when clang-format is not installed)
+#   3. clang-tidy         bugprone/performance/concurrency baseline
+#                         over compile_commands.json (skips with a
+#                         notice when clang-tidy is not installed)
+#   4. release            Release build with BIOSENS_WERROR=ON + the
+#                         full ctest suite
+#   5. tsan               ThreadSanitizer over the engine tests
+#   6. ubsan              UndefinedBehaviorSanitizer over error paths
+#   7. asan               AddressSanitizer+LeakSanitizer over the
+#                         allocation-bearing engine/cache/obs tests
+#   8. perf               solver step-rate smoke vs BENCH_sim.json
+#   9. obs                traced smoke batch + exporter validation
 #
 #   ci/check.sh            # everything
-#   ci/check.sh lint       # throw/span-discipline lint only
-#   ci/check.sh release    # Release + ctest only
-#   ci/check.sh tsan       # TSan engine tests only
-#   ci/check.sh ubsan      # UBSan error-path tests only
-#   ci/check.sh perf       # solver step-rate smoke only
-#   ci/check.sh obs        # traced batch + exporter validation only
+#   ci/check.sh <stage>    # one stage: lint|format|tidy|release|tsan|
+#                          #            ubsan|asan|perf|obs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,50 +27,63 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 STAGE="${1:-all}"
 
 run_lint() {
-  echo "=== [1/6] Lint: no 'throw' outside the error/expected headers ==="
-  # The Expected<T> refactor confines throw statements to the public
-  # convenience boundary: common/error.hpp (require<>, the exception
-  # types) and common/expected.hpp (value_or_throw / ErrorInfo::raise).
-  # Everything else in src/ must report failure through Expected.
-  # Line comments are stripped before matching so prose may say "throw".
-  violations="$(grep -rn --include='*.hpp' --include='*.cpp' \
-      -E '\bthrow\b' src/ \
-    | grep -v '^src/common/error\.hpp:' \
-    | grep -v '^src/common/expected\.hpp:' \
-    | sed 's,//.*$,,' \
-    | grep -E '\bthrow\b' || true)"
-  if [ -n "${violations}" ]; then
-    echo "throw statement outside src/common/{error,expected}.hpp:" >&2
-    echo "${violations}" >&2
-    exit 1
-  fi
-  echo "lint(throw): OK"
+  echo "=== [1/9] biosens-lint: AST-level invariant checks ==="
+  # tools/lint/biosens_lint.py replaces the old grep lints: it lexes
+  # real C++ tokens (strings, comments and multi-line statements can
+  # no longer fool it) and enforces throw-discipline, span-discipline,
+  # span-temporary, determinism-discipline, expected-discard,
+  # nodiscard-decl and hot-path-discipline. Check ids, rationale and
+  # the allow() suppression syntax: docs/static-analysis.md.
+  python3 tools/lint/biosens_lint.py src
+  # The fixture self-test proves every check-id fires on its seeded
+  # violation and stays silent on the matching clean fixture.
+  python3 tools/lint/biosens_lint.py --self-test
+  echo "lint: OK"
+}
 
-  # Span discipline: instrumented code creates spans only through the
-  # obs::ObsSpan RAII type (plus TraceSession::instant/async_* for
-  # point events). Touching the raw event machinery — emit_span_event
-  # or EventPhase literals — outside src/obs/ would let an unbalanced
-  # begin/end pair corrupt every exported trace.
-  span_violations="$(grep -rn --include='*.hpp' --include='*.cpp' \
-      -E 'emit_span_event|EventPhase::' src/ \
-    | grep -v '^src/obs/' || true)"
-  if [ -n "${span_violations}" ]; then
-    echo "raw span-event primitive used outside src/obs/:" >&2
-    echo "${span_violations}" >&2
-    exit 1
+run_format() {
+  echo "=== [2/9] clang-format: check-only formatting gate ==="
+  if ! command -v clang-format > /dev/null 2>&1; then
+    echo "format: clang-format not installed — stage skipped"
+    return 0
   fi
-  echo "lint(span): OK"
+  # --dry-run --Werror: exits nonzero on any file that would change.
+  find src tools/lint/fixtures -name '*.hpp' -o -name '*.cpp' \
+    | xargs clang-format --style=file --dry-run --Werror
+  echo "format: OK"
+}
+
+run_tidy() {
+  echo "=== [3/9] clang-tidy: bugprone/performance/concurrency baseline ==="
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "tidy: clang-tidy not installed — stage skipped"
+    return 0
+  fi
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  # .clang-tidy at the repo root carries the check set; warnings are
+  # errors so the codebase stays tidy-clean once brought clean.
+  run_clang_tidy_bin="$(command -v run-clang-tidy || true)"
+  if [ -n "${run_clang_tidy_bin}" ]; then
+    "${run_clang_tidy_bin}" -p build-ci -quiet \
+      -warnings-as-errors='*' 'src/.*\.cpp$'
+  else
+    find src -name '*.cpp' \
+      | xargs clang-tidy -p build-ci --quiet --warnings-as-errors='*'
+  fi
+  echo "tidy: OK"
 }
 
 run_release() {
-  echo "=== [2/6] Release build + full test suite ==="
-  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  echo "=== [4/9] Release build (BIOSENS_WERROR=ON) + full test suite ==="
+  # CI promotes the hardened src/ warning set to errors so a new
+  # warning cannot land silently; local builds default it off.
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DBIOSENS_WERROR=ON
   cmake --build build-ci -j "${JOBS}"
   ctest --test-dir build-ci --output-on-failure -j "${JOBS}"
 }
 
 run_tsan() {
-  echo "=== [3/6] ThreadSanitizer: engine tests ==="
+  echo "=== [5/9] ThreadSanitizer: engine tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=thread
@@ -76,7 +95,7 @@ run_tsan() {
 }
 
 run_ubsan() {
-  echo "=== [4/6] UndefinedBehaviorSanitizer: error-path tests ==="
+  echo "=== [6/9] UndefinedBehaviorSanitizer: error-path tests ==="
   cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=undefined
@@ -87,8 +106,23 @@ run_ubsan() {
     --output-on-failure
 }
 
+run_asan() {
+  echo "=== [7/9] AddressSanitizer+LeakSanitizer: allocation-bearing tests ==="
+  # The engine's worker pool, the sharded sim-cache LRU and the obs
+  # per-thread buffers own the bulk of the dynamic allocations; ASan
+  # with leak detection guards use-after-free and unreleased buffers.
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBIOSENS_SANITIZE=address
+  cmake --build build-asan -j "${JOBS}" \
+    --target test_engine test_sim_cache test_obs test_expected
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=1" \
+    ctest --test-dir build-asan -R 'engine$|sim_cache|obs|expected' \
+    --output-on-failure
+}
+
 run_perf() {
-  echo "=== [5/6] Perf smoke: solver step rate vs BENCH_sim.json ==="
+  echo "=== [8/9] Perf smoke: solver step rate vs BENCH_sim.json ==="
   # A reduced-configuration run of the kernel bench (BIOSENS_SMOKE=1
   # shrinks the step/patient counts and skips the google-benchmark
   # timings; the per-step rate it prints is comparable to the full
@@ -121,7 +155,7 @@ run_perf() {
 }
 
 run_obs() {
-  echo "=== [6/6] Observability smoke: traced batch + exporter validation ==="
+  echo "=== [9/9] Observability smoke: traced batch + exporter validation ==="
   # One small traced service run must yield a Chrome trace that loads
   # in Perfetto (valid JSON, balanced begin/end nesting per thread) and
   # a Prometheus exposition with well-formed cumulative histograms.
@@ -191,12 +225,17 @@ PY
 
 case "${STAGE}" in
   lint)    run_lint ;;
+  format)  run_format ;;
+  tidy)    run_tidy ;;
   release) run_release ;;
   tsan)    run_tsan ;;
   ubsan)   run_ubsan ;;
+  asan)    run_asan ;;
   perf)    run_perf ;;
   obs)     run_obs ;;
-  all)     run_lint; run_release; run_tsan; run_ubsan; run_perf; run_obs ;;
-  *) echo "usage: ci/check.sh [lint|release|tsan|ubsan|perf|obs|all]" >&2; exit 2 ;;
+  all)     run_lint; run_format; run_tidy; run_release; run_tsan
+           run_ubsan; run_asan; run_perf; run_obs ;;
+  *) echo "usage: ci/check.sh [lint|format|tidy|release|tsan|ubsan|asan|perf|obs|all]" >&2
+     exit 2 ;;
 esac
 echo "CI checks passed."

@@ -1,0 +1,19 @@
+// Function annotations the static-analysis pass keys off.
+//
+// BIOSENS_HOT marks the per-step simulation kernels: the tridiagonal
+// solve, the reactive-surface step, and the electrochemical sweep inner
+// loops that run thousands of times per measurement. The annotation has
+// two audiences:
+//  - the compiler: [[gnu::hot]] biases inlining/layout toward these
+//    functions on GCC/Clang (and expands to nothing elsewhere);
+//  - biosens-lint: the hot-path-discipline check forbids std::function
+//    construction and heap allocation inside any BIOSENS_HOT body, so
+//    the zero-allocation contract of docs/performance.md is enforced,
+//    not just documented (docs/static-analysis.md).
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BIOSENS_HOT [[gnu::hot]]
+#else
+#define BIOSENS_HOT
+#endif

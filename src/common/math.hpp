@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 
 namespace biosens {
@@ -54,7 +55,8 @@ class TridiagonalFactorization {
 
   /// Solves A*x = rhs with the stored factorization. `x` must have the
   /// factored size; `x` and `rhs` may alias. Requires factor() first.
-  void solve(std::span<const double> rhs, std::span<double> x) const {
+  BIOSENS_HOT void solve(std::span<const double> rhs,
+                         std::span<double> x) const {
     const std::size_t n = pivot_.size();
     require<NumericsError>(n >= 1, "solve() before factor()");
     require<NumericsError>(rhs.size() == n && x.size() == n,
@@ -112,8 +114,9 @@ class TridiagonalFactorization {
 /// Templated on the callable so the per-iteration evaluation inlines —
 /// no std::function indirection or heap allocation on solver hot paths.
 template <typename F>
-[[nodiscard]] double bisect(F&& f, double lo, double hi, double tol = 1e-12,
-                            int max_iter = 200) {
+[[nodiscard]] BIOSENS_HOT double bisect(F&& f, double lo, double hi,
+                                        double tol = 1e-12,
+                                        int max_iter = 200) {
   require<NumericsError>(lo < hi, "bisect: invalid bracket");
   double flo = f(lo);
   const double fhi = f(hi);

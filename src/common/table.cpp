@@ -70,14 +70,22 @@ std::string Table::to_csv() const {
 }
 
 std::string Table::to_markdown() const {
+  // Appends piecewise instead of chaining operator+: bit-identical
+  // output, fewer temporaries, and it sidesteps a GCC 12 -Wrestrict
+  // false positive on inlined string concatenation (PR105329).
   std::string out = "|";
-  for (const std::string& h : header_) out += " " + md_escape(h) + " |";
+  const auto emit_cell = [&](const std::string& text) {
+    out += ' ';
+    out += md_escape(text);
+    out += " |";
+  };
+  for (const std::string& h : header_) emit_cell(h);
   out += "\n|";
   for (std::size_t i = 0; i < header_.size(); ++i) out += "---|";
   out += "\n";
   for (const auto& row : rows_) {
     out += "|";
-    for (const std::string& cell : row) out += " " + md_escape(cell) + " |";
+    for (const std::string& cell : row) emit_cell(cell);
     out += "\n";
   }
   return out;

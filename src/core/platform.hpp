@@ -101,8 +101,8 @@ class Platform {
   /// Expected-returning counterpart of calibrate_all(). On any sensor's
   /// failure the platform is left consistently *not* calibrated and the
   /// structured error names the offending sensor in its context chain.
-  Expected<void> try_calibrate_all(Rng& rng,
-                                   const ProtocolOptions& options = {});
+  [[nodiscard]] Expected<void> try_calibrate_all(
+      Rng& rng, const ProtocolOptions& options = {});
 
   /// Measures every sensor against the sample and reports estimated
   /// concentrations. Requires calibrate_all() first. Throwing shim over
@@ -145,9 +145,9 @@ class Platform {
   /// Expected-returning counterpart of calibrate_all_batch(): scans the
   /// engine's per-job reports and surfaces the lowest-indexed sensor's
   /// structured error, leaving the platform consistently uncalibrated.
-  Expected<void> try_calibrate_all_batch(engine::Engine& engine,
-                                         std::uint64_t seed,
-                                         const ProtocolOptions& options = {});
+  [[nodiscard]] Expected<void> try_calibrate_all_batch(
+      engine::Engine& engine, std::uint64_t seed,
+      const ProtocolOptions& options = {});
 
   /// Like assay(), but additionally unmixes isoform cross-reactivity
   /// through the panel's cross-sensitivity matrix (characterized once,

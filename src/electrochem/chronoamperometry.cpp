@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/annotations.hpp"
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
@@ -30,7 +31,7 @@ TimeSeries ChronoamperometrySim::run() const {
   return try_run().value_or_throw();
 }
 
-Expected<TimeSeries> ChronoamperometrySim::try_run() const {
+BIOSENS_HOT Expected<TimeSeries> ChronoamperometrySim::try_run() const {
   obs::ObsSpan span(Layer::kElectrochem, "chrono-sweep");
   const electrode::EffectiveLayer& layer = cell_.layer();
   auto kinetics_result = span.watch(layer.try_kinetics());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/annotations.hpp"
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
@@ -39,7 +40,7 @@ DpvTrace DifferentialPulseSim::run() const {
   return try_run().value_or_throw();
 }
 
-Expected<DpvTrace> DifferentialPulseSim::try_run() const {
+BIOSENS_HOT Expected<DpvTrace> DifferentialPulseSim::try_run() const {
   obs::ObsSpan span(Layer::kElectrochem, "dpv-sweep");
   const electrode::EffectiveLayer& layer = cell_.layer();
   // Pre-flight the fallible ingredients once (see VoltammetrySim).

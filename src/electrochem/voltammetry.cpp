@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/annotations.hpp"
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
@@ -77,7 +78,7 @@ Voltammogram VoltammetrySim::run() const {
   return try_run().value_or_throw();
 }
 
-Expected<Voltammogram> VoltammetrySim::try_run() const {
+BIOSENS_HOT Expected<Voltammogram> VoltammetrySim::try_run() const {
   obs::ObsSpan span(Layer::kElectrochem, "cv-sweep");
   const electrode::EffectiveLayer& layer = cell_.layer();
   // Pre-flight the fallible ingredients once so the per-point loop below

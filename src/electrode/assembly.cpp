@@ -49,13 +49,14 @@ Expected<chem::MichaelisMenten> EffectiveLayer::try_kinetics() const {
 }
 
 CurrentDensity EffectiveLayer::catalytic_current_density(
-    Concentration substrate) const {
-  const double flux = kinetics().areal_flux(wired_coverage, substrate);
+    Concentration substrate_conc) const {
+  const double flux = kinetics().areal_flux(wired_coverage, substrate_conc);
   return CurrentDensity::amps_per_m2(electrons * constants::kFaraday * flux);
 }
 
-Current EffectiveLayer::catalytic_current(Concentration substrate) const {
-  return catalytic_current_density(substrate) * geometric_area;
+Current EffectiveLayer::catalytic_current(
+    Concentration substrate_conc) const {
+  return catalytic_current_density(substrate_conc) * geometric_area;
 }
 
 Sensitivity EffectiveLayer::intrinsic_sensitivity() const {

@@ -97,10 +97,11 @@ struct EffectiveLayer {
   /// Kinetically limited catalytic current density at a substrate
   /// concentration: j = n * F * Gamma_wired * v(S).
   [[nodiscard]] CurrentDensity catalytic_current_density(
-      Concentration substrate) const;
+      Concentration substrate_conc) const;
 
   /// Kinetically limited catalytic current (density times area).
-  [[nodiscard]] Current catalytic_current(Concentration substrate) const;
+  [[nodiscard]] Current catalytic_current(
+      Concentration substrate_conc) const;
 
   /// Low-concentration sensitivity of the layer alone (no transport
   /// limit): n * F * Gamma * k_cat / K_M, in canonical units.

@@ -77,11 +77,14 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
         std::this_thread::sleep_for(std::chrono::duration<double>(
             job.dwell.seconds() * engine.dwell_scale()));
       }
-      try {
+      // The one sanctioned exception boundary: third-party job bodies
+      // may still throw into the engine; everything is classified back
+      // into the Expected taxonomy here (docs/errors.md).
+      try {  // biosens-lint: allow(throw-discipline)
         result = job.body(context);
-      } catch (const std::exception& e) {
+      } catch (const std::exception& e) {  // biosens-lint: allow(throw-discipline)
         result = ErrorInfo::from_exception(e, Layer::kEngine, job.name);
-      } catch (...) {
+      } catch (...) {  // biosens-lint: allow(throw-discipline)
         result = make_error(ErrorCode::kInternal, Layer::kEngine, job.name,
                             "job body raised a non-standard exception");
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 
@@ -114,14 +115,16 @@ void DiffusionField::prepare_flux_step(Time dt) {
   rhs_[n - 1] = bulk_.milli_molar();
 }
 
-void DiffusionField::advance_prepared_flux(Time dt, double surface_flux) {
+BIOSENS_HOT void DiffusionField::advance_prepared_flux(Time dt,
+                                                       double surface_flux) {
   rhs_[0] = rhs0_base_ - 2.0 * surface_flux * dt.seconds() / dx_;
   factorization_.solve(rhs_, c_);
   // Numerical round-off can leave tiny negatives near a hard sink.
   for (double& v : c_) v = std::max(v, 0.0);
 }
 
-double DiffusionField::step_clamped_surface(Time dt, Concentration surface) {
+BIOSENS_HOT double DiffusionField::step_clamped_surface(Time dt,
+                                                        Concentration surface) {
   require<NumericsError>(dt.seconds() > 0.0, "time step must be positive");
   const std::size_t n = c_.size();
   const double dt_s = dt.seconds();
@@ -140,8 +143,8 @@ double DiffusionField::step_clamped_surface(Time dt, Concentration surface) {
   return surface_gradient_flux();
 }
 
-double DiffusionField::step_affine_surface(Time dt, double rate_m_per_s,
-                                            double production_flux) {
+BIOSENS_HOT double DiffusionField::step_affine_surface(
+    Time dt, double rate_m_per_s, double production_flux) {
   require<NumericsError>(dt.seconds() > 0.0, "time step must be positive");
   require<NumericsError>(rate_m_per_s >= 0.0,
                          "surface rate must be non-negative");

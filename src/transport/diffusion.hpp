@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/units.hpp"
@@ -66,7 +67,7 @@ class DiffusionField {
   /// Returns the converged consumption flux for this step. The callable
   /// is evaluated once per fixed-point iteration, inlined.
   template <typename FluxFn>
-  double step_reactive_surface(Time dt, FluxFn&& flux_of_surface) {
+  BIOSENS_HOT double step_reactive_surface(Time dt, FluxFn&& flux_of_surface) {
     require<NumericsError>(dt.seconds() > 0.0, "time step must be positive");
     prepare_flux_step(dt);
 

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CTest wrapper for the biosens-lint fixture self-test.
+
+Four properties, mirroring the CI acceptance criteria
+(docs/static-analysis.md):
+  1. the fixture manifest matches exactly — every check-id fires on its
+     seeded violation and stays silent on the matching clean fixture;
+  2. every registered check-id is actually exercised by a fixture;
+  3. the real tree (src/) is lint-clean;
+  4. seeding a forbidden construct into a src-shaped file fails with
+     the correct check-id and file:line, and an allow() suppression
+     silences it again.
+
+Run directly (python3 tests/test_lint_fixtures.py) or via ctest
+(test target `lint_fixtures`).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint", "biosens_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tools", "lint", "fixtures")
+
+
+def run_linter(*args):
+    return subprocess.run(
+        [sys.executable, LINTER, *args],
+        capture_output=True, text=True, cwd=REPO_ROOT, timeout=120)
+
+
+class FixtureSelfTest(unittest.TestCase):
+    def test_manifest_matches_exactly(self):
+        proc = run_linter("--self-test")
+        self.assertEqual(
+            proc.returncode, 0,
+            f"fixture self-test failed:\n{proc.stdout}\n{proc.stderr}")
+
+    def test_every_check_id_is_exercised(self):
+        listed = run_linter("--list-checks")
+        self.assertEqual(listed.returncode, 0, listed.stderr)
+        check_ids = {line.split(":", 1)[0]
+                     for line in listed.stdout.splitlines() if ":" in line}
+        self.assertGreaterEqual(len(check_ids), 7)
+
+        exercised = set()
+        for raw in open(os.path.join(FIXTURES, "expected.txt")):
+            entry = raw.split("#", 1)[0].strip()
+            if entry:
+                exercised.add(entry.rsplit(" ", 1)[1])
+        self.assertEqual(
+            check_ids, exercised,
+            "every check-id must have a seeded-violation fixture")
+
+    def test_repository_tree_is_clean(self):
+        proc = run_linter("src")
+        self.assertEqual(
+            proc.returncode, 0,
+            f"src/ has lint findings:\n{proc.stdout}\n{proc.stderr}")
+
+
+class SeededViolationTest(unittest.TestCase):
+    """A forbidden construct planted in a src-shaped tree must fail
+    with the right check-id and location (acceptance criterion)."""
+
+    CASES = [
+        ("src/chem/planted.cpp",
+         'int f(int x) {\n  if (x < 0) throw x;\n  return x;\n}\n',
+         "throw-discipline", 2),
+        ("src/engine/planted.cpp",
+         '#include <random>\nint f() {\n  std::random_device d;\n'
+         '  return static_cast<int>(d());\n}\n',
+         "determinism-discipline", 1),
+        ("src/core/planted.cpp",
+         'auto g(S& s) { return s.try_measure(); }\n'
+         'void f(S& s) {\n  s.try_measure();\n}\n',
+         "expected-discard", 3),
+    ]
+
+    def plant(self, rel_path, content):
+        tree = tempfile.mkdtemp(prefix="biosens_lint_seed_")
+        self.addCleanup(lambda: subprocess.run(["rm", "-rf", tree]))
+        full = os.path.join(tree, rel_path)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w") as f:
+            f.write(content)
+        return tree, full
+
+    def test_seeded_violations_fail_with_id_and_location(self):
+        for rel_path, content, check_id, line in self.CASES:
+            with self.subTest(check=check_id):
+                tree, full = self.plant(rel_path, content)
+                proc = run_linter("--root", tree, os.path.join(tree, "src"))
+                self.assertEqual(proc.returncode, 1,
+                                 f"expected failure:\n{proc.stdout}")
+                self.assertIn(f"{full}:{line}: [{check_id}]", proc.stdout)
+
+    def test_allow_comment_suppresses(self):
+        rel_path, content, check_id, line = self.CASES[0]
+        lines = content.splitlines()
+        lines[line - 1] += f"  // biosens-lint: allow({check_id})"
+        tree, _ = self.plant(rel_path, "\n".join(lines) + "\n")
+        proc = run_linter("--root", tree, os.path.join(tree, "src"))
+        self.assertEqual(
+            proc.returncode, 0,
+            f"suppression did not silence {check_id}:\n{proc.stdout}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

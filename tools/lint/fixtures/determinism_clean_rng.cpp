@@ -1,0 +1,15 @@
+// biosens-lint-fixture: src/common/rng.cpp
+// Clean counterpart: common/rng is the one place allowed to talk about
+// <random> machinery (e.g. comparing against std::mt19937 in tests of
+// statistical quality).
+#include <random>
+
+namespace biosens {
+
+unsigned fixture_rng_internal() {
+  std::random_device device;
+  std::mt19937_64 reference(device());
+  return static_cast<unsigned>(reference());
+}
+
+}  // namespace biosens

@@ -1,0 +1,33 @@
+// biosens-lint-fixture: src/transport/fixture_hot_clean.cpp
+// Clean counterpart: an allocation-free hot kernel over caller-owned
+// buffers, cold code that may allocate freely, and a BIOSENS_HOT
+// declaration whose body lives elsewhere.
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/annotations.hpp"
+
+namespace biosens::transport {
+
+template <typename StepFn>
+BIOSENS_HOT double fixture_hot_kernel(std::span<double> state, StepFn&& f) {
+  double acc = 0.0;
+  for (double& v : state) {
+    v = f(v);
+    acc += v;
+  }
+  return acc;
+}
+
+BIOSENS_HOT double fixture_hot_declared_only(std::span<const double> state);
+
+double fixture_cold_setup(std::size_t n) {
+  // Not annotated: setup code may type-erase and allocate.
+  std::function<double()> makeup = [] { return 1.0; };
+  auto buffer = std::make_unique<double[]>(n);
+  buffer[0] = makeup();
+  return buffer[0];
+}
+
+}  // namespace biosens::transport

@@ -1,0 +1,28 @@
+// biosens-lint-fixture: src/transport/fixture_hot.cpp
+// Seeded hot-path-discipline violations: type-erasure and heap
+// allocation inside BIOSENS_HOT kernels.
+#include <functional>
+#include <memory>
+
+#include "common/annotations.hpp"
+
+namespace biosens::transport {
+
+BIOSENS_HOT double fixture_hot_type_erasure(double x) {
+  std::function<double(double)> f = [](double v) { return v * v; };  // SEED hot-path-discipline
+  return f(x);
+}
+
+BIOSENS_HOT double fixture_hot_heap(std::size_t n) {
+  double* scratch = new double[n];  // SEED hot-path-discipline
+  const double first = scratch[0];
+  delete[] scratch;
+  return first;
+}
+
+BIOSENS_HOT double fixture_hot_smart_alloc() {
+  auto owned = std::make_unique<double>(0.0);  // SEED hot-path-discipline
+  return *owned;
+}
+
+}  // namespace biosens::transport

@@ -1,0 +1,20 @@
+// biosens-lint-fixture: src/core/fixture_span_clean.cpp
+// Clean counterpart: named ObsSpan locals (the RAII contract), a span
+// taken by reference, and the word EventPhase in comments/strings only.
+#include "obs/span.hpp"
+
+namespace biosens::core {
+
+double fixture_named_span(double x) {
+  obs::ObsSpan span(Layer::kCore, "measure");
+  obs::ObsSpan detail_span{Layer::kCore, "measure", "detail"};
+  return x;
+}
+
+void fixture_span_by_reference(obs::ObsSpan& span, const char** out) {
+  span.annotate("fixture");
+  // Strings and comments may say emit_span_event or EventPhase::kEnd:
+  *out = "EventPhase::kEnd emit_span_event";
+}
+
+}  // namespace biosens::core

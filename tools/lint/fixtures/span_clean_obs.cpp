@@ -1,0 +1,15 @@
+// biosens-lint-fixture: src/obs/fixture_internal.cpp
+// Clean counterpart: inside src/obs/ the raw primitives are the
+// implementation — every span check is scoped out here.
+#include "obs/span.hpp"
+
+namespace biosens::obs {
+
+void fixture_obs_internal(TraceSession& session) {
+  SpanEvent event;
+  event.phase = EventPhase::kInstant;
+  session.emit_span_event(std::move(event));
+  ObsSpan(Layer::kCommon, "obs-internal-temporary-is-fine");
+}
+
+}  // namespace biosens::obs

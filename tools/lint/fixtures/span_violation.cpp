@@ -1,0 +1,23 @@
+// biosens-lint-fixture: src/core/fixture_span.cpp
+// Seeded span-discipline + span-temporary violations: raw event
+// machinery outside src/obs/, and an ObsSpan discarded temporary that
+// would destruct immediately and record a zero-length span.
+#include "obs/span.hpp"
+
+namespace biosens::core {
+
+void fixture_raw_emission(obs::TraceSession& session) {
+  obs::SpanEvent event;
+  event.phase = obs::EventPhase::kBegin;  // SEED span-discipline
+  session.emit_span_event(std::move(event));  // SEED span-discipline
+}
+
+void fixture_temporary_span() {
+  obs::ObsSpan(Layer::kCore, "measure");  // SEED span-temporary
+}
+
+void fixture_braced_temporary_span() {
+  obs::ObsSpan{Layer::kCore, "assay"};  // SEED span-temporary
+}
+
+}  // namespace biosens::core
