@@ -2,7 +2,7 @@
 # CI gate for the measurement stack (docs/static-analysis.md):
 #   1. biosens-lint       AST/token-level invariant checks + fixture
 #                         self-test (throw/span/determinism/Expected/
-#                         hot-path discipline)
+#                         hot-path/service discipline)
 #   2. clang-format       check-only formatting gate (skips with a
 #                         notice when clang-format is not installed)
 #   3. clang-tidy         bugprone/performance/concurrency baseline
@@ -14,12 +14,17 @@
 #   6. ubsan              UndefinedBehaviorSanitizer over error paths
 #   7. asan               AddressSanitizer+LeakSanitizer over the
 #                         allocation-bearing engine/cache/obs tests
-#   8. perf               solver step-rate smoke vs BENCH_sim.json
-#   9. obs                traced smoke batch + exporter validation
+#   8. perf               solver step-rate smoke vs BENCH_sim.json and
+#                         service throughput vs BENCH_service.json
+#   9. obs                traced smoke run + exporter validation
+#  10. service            streaming sessions under overload: saturation
+#                         tests, mixed-priority demo with mid-run
+#                         drain/restore, per-tenant and per-priority
+#                         Prometheus series validation
 #
 #   ci/check.sh            # everything
 #   ci/check.sh <stage>    # one stage: lint|format|tidy|release|tsan|
-#                          #            ubsan|asan|perf|obs
+#                          #            ubsan|asan|perf|obs|service
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,12 +32,13 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 STAGE="${1:-all}"
 
 run_lint() {
-  echo "=== [1/9] biosens-lint: AST-level invariant checks ==="
+  echo "=== [1/10] biosens-lint: AST-level invariant checks ==="
   # tools/lint/biosens_lint.py replaces the old grep lints: it lexes
   # real C++ tokens (strings, comments and multi-line statements can
   # no longer fool it) and enforces throw-discipline, span-discipline,
   # span-temporary, determinism-discipline, expected-discard,
-  # nodiscard-decl and hot-path-discipline. Check ids, rationale and
+  # nodiscard-decl, hot-path-discipline and service-discipline (every
+  # queue in src/service/ must be bounded). Check ids, rationale and
   # the allow() suppression syntax: docs/static-analysis.md.
   python3 tools/lint/biosens_lint.py src
   # The fixture self-test proves every check-id fires on its seeded
@@ -42,7 +48,7 @@ run_lint() {
 }
 
 run_format() {
-  echo "=== [2/9] clang-format: check-only formatting gate ==="
+  echo "=== [2/10] clang-format: check-only formatting gate ==="
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "format: clang-format not installed — stage skipped"
     return 0
@@ -54,7 +60,7 @@ run_format() {
 }
 
 run_tidy() {
-  echo "=== [3/9] clang-tidy: bugprone/performance/concurrency baseline ==="
+  echo "=== [3/10] clang-tidy: bugprone/performance/concurrency baseline ==="
   if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "tidy: clang-tidy not installed — stage skipped"
     return 0
@@ -74,7 +80,7 @@ run_tidy() {
 }
 
 run_release() {
-  echo "=== [4/9] Release build (BIOSENS_WERROR=ON) + full test suite ==="
+  echo "=== [4/10] Release build (BIOSENS_WERROR=ON) + full test suite ==="
   # CI promotes the hardened src/ warning set to errors so a new
   # warning cannot land silently; local builds default it off.
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DBIOSENS_WERROR=ON
@@ -83,7 +89,7 @@ run_release() {
 }
 
 run_tsan() {
-  echo "=== [5/9] ThreadSanitizer: engine tests ==="
+  echo "=== [5/10] ThreadSanitizer: engine tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=thread
@@ -95,7 +101,7 @@ run_tsan() {
 }
 
 run_ubsan() {
-  echo "=== [6/9] UndefinedBehaviorSanitizer: error-path tests ==="
+  echo "=== [6/10] UndefinedBehaviorSanitizer: error-path tests ==="
   cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=undefined
@@ -107,7 +113,7 @@ run_ubsan() {
 }
 
 run_asan() {
-  echo "=== [7/9] AddressSanitizer+LeakSanitizer: allocation-bearing tests ==="
+  echo "=== [7/10] AddressSanitizer+LeakSanitizer: allocation-bearing tests ==="
   # The engine's worker pool, the sharded sim-cache LRU and the obs
   # per-thread buffers own the bulk of the dynamic allocations; ASan
   # with leak detection guards use-after-free and unreleased buffers.
@@ -122,7 +128,7 @@ run_asan() {
 }
 
 run_perf() {
-  echo "=== [8/9] Perf smoke: solver step rate vs BENCH_sim.json ==="
+  echo "=== [8/10] Perf smoke: solver step rate + service throughput ==="
   # A reduced-configuration run of the kernel bench (BIOSENS_SMOKE=1
   # shrinks the step/patient counts and skips the google-benchmark
   # timings; the per-step rate it prints is comparable to the full
@@ -152,18 +158,45 @@ run_perf() {
     echo "perf smoke: solver step rate regressed more than 30%" >&2
     exit 1
   }
+  # Service scheduler throughput vs BENCH_service.json. The smoke
+  # configuration (1k sessions) is noisier than the kernel bench, so
+  # the floor is 50% of the committed 4-worker baseline; snapshot
+  # byte-identity across worker counts exits the bench nonzero itself.
+  cmake --build build-ci -j "${JOBS}" --target bench_service
+  svc_out="$(BIOSENS_SMOKE=1 ./build-ci/bench/bench_service)"
+  printf '%s\n' "${svc_out}"
+  svc_current="$(printf '%s\n' "${svc_out}" \
+    | sed -n 's/^service_jobs_per_sec=\([0-9.]*\)$/\1/p')"
+  svc_baseline="$(sed -n \
+    's/.*"4": {"jobs_per_sec": \([0-9.]*\).*/\1/p' BENCH_service.json \
+    | head -n 1)"
+  if [ -z "${svc_current}" ] || [ -z "${svc_baseline}" ]; then
+    echo "perf smoke: could not parse service job rates" >&2
+    echo "  (bench printed '${svc_current:-?}'," \
+         "baseline '${svc_baseline:-?}')" >&2
+    exit 1
+  fi
+  awk -v cur="${svc_current}" -v base="${svc_baseline}" 'BEGIN {
+    floor = 0.50 * base;
+    printf "perf smoke: %.0f service jobs/s vs baseline %.0f (floor %.0f)\n",
+           cur, base, floor;
+    exit (cur >= floor) ? 0 : 1;
+  }' || {
+    echo "perf smoke: service throughput regressed more than 50%" >&2
+    exit 1
+  }
 }
 
 run_obs() {
-  echo "=== [9/9] Observability smoke: traced batch + exporter validation ==="
+  echo "=== [9/10] Observability smoke: traced batch + exporter validation ==="
   # One small traced service run must yield a Chrome trace that loads
   # in Perfetto (valid JSON, balanced begin/end nesting per thread) and
   # a Prometheus exposition with well-formed cumulative histograms.
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-ci -j "${JOBS}" --target batch_service
+  cmake --build build-ci -j "${JOBS}" --target service_demo
   obs_dir="$(mktemp -d)"
   trap 'rm -rf "${obs_dir}"' RETURN
-  ./build-ci/examples/batch_service --quick --waves=1 --samples=48 \
+  ./build-ci/examples/service_demo --quick --waves=1 --samples=48 \
     --trace-out="${obs_dir}/trace.json" \
     --metrics-out="${obs_dir}/metrics.prom" \
     --events-out="${obs_dir}/events.jsonl"
@@ -223,6 +256,79 @@ PY
   echo "observability smoke: OK"
 }
 
+run_service() {
+  echo "=== [10/10] Service smoke: streaming sessions under overload ==="
+  cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-ci -j "${JOBS}" --target service_demo test_service
+  svc_dir="$(mktemp -d)"
+  trap 'rm -rf "${svc_dir}"' RETURN
+  # Deterministic overload + determinism coverage: the gated saturation
+  # tests prove kOverloaded rejections carry the tenant and a
+  # retry-after hint while the service keeps serving, and the
+  # snapshot/restore suite proves restarts are byte-invisible.
+  ./build-ci/tests/test_service \
+    --gtest_filter='ServiceSaturation.*:ServiceDeterminism.*'
+  # Streaming smoke: mixed-priority tenants with a mid-run drain +
+  # snapshot/restore (the demo exits nonzero if any restored stream
+  # diverges), then validate the per-tenant / per-priority series in
+  # the Prometheus exposition it writes after the final drain.
+  ./build-ci/examples/service_demo --quick \
+    --metrics-out="${svc_dir}/service.prom"
+  python3 - "${svc_dir}/service.prom" <<'PY'
+import re, sys
+
+counters = {}
+gauges = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        if line.startswith("#") or not line.strip():
+            continue
+        m = re.match(r"(\w+)(?:\{([^}]*)\})? (\S+)$", line.strip())
+        assert m, f"unparseable exposition line: {line!r}"
+        name, labels, value = m.group(1), m.group(2) or "", float(m.group(3))
+        kv = dict(p.split("=", 1) for p in labels.split(",") if p)
+        kv = {k: v.strip('"') for k, v in kv.items()}
+        if name.endswith("_total"):
+            counters[(name, tuple(sorted(kv.items())))] = value
+        elif "_bucket" not in name and not name.endswith(("_sum", "_count")):
+            gauges[name] = value
+
+def total(name, **want):
+    return sum(v for (n, kv), v in counters.items()
+               if n == name and all(dict(kv).get(k) == w
+                                    for k, w in want.items()))
+
+# Per-priority series: both classes streamed, and per class the
+# admitted work is fully accounted for (submitted = completed+failed).
+for cls in ("interactive", "bulk"):
+    sub = total("biosens_service_requests_total", **{
+        "class": cls, "outcome": "submitted"})
+    done = total("biosens_service_requests_total", **{
+        "class": cls, "outcome": "completed"})
+    fail = total("biosens_service_requests_total", **{
+        "class": cls, "outcome": "failed"})
+    assert sub > 0, f"no {cls} traffic in exposition"
+    assert sub == done + fail, \
+        f"{cls}: submitted {sub} != completed {done} + failed {fail}"
+
+# Per-tenant series: every demo tenant shows up with its own labels.
+tenants = {dict(kv).get("tenant")
+           for (n, kv) in counters
+           if n == "biosens_service_tenant_requests_total"}
+for tenant in ("clinic-a", "ward-c", "lab-bulk"):
+    assert tenant in tenants, f"missing per-tenant series for {tenant}"
+
+# Clean drain: the exposition is written after the final drain, so
+# nothing may still be queued or running.
+assert gauges.get("biosens_service_pending") == 0.0, gauges
+assert gauges.get("biosens_service_in_flight") == 0.0, gauges
+assert gauges.get("biosens_service_sessions_open", 0) > 0, gauges
+print(f"service exposition: OK ({len(counters)} counter series, "
+      f"{sorted(t for t in tenants if t)} tenants, drained clean)")
+PY
+  echo "service smoke: OK"
+}
+
 case "${STAGE}" in
   lint)    run_lint ;;
   format)  run_format ;;
@@ -233,9 +339,10 @@ case "${STAGE}" in
   asan)    run_asan ;;
   perf)    run_perf ;;
   obs)     run_obs ;;
+  service) run_service ;;
   all)     run_lint; run_format; run_tidy; run_release; run_tsan
-           run_ubsan; run_asan; run_perf; run_obs ;;
-  *) echo "usage: ci/check.sh [lint|format|tidy|release|tsan|ubsan|asan|perf|obs|all]" >&2
+           run_ubsan; run_asan; run_perf; run_obs; run_service ;;
+  *) echo "usage: ci/check.sh [lint|format|tidy|release|tsan|ubsan|asan|perf|obs|service|all]" >&2
      exit 2 ;;
 esac
 echo "CI checks passed."

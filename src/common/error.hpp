@@ -39,6 +39,14 @@ class AnalysisError : public Error {
   explicit AnalysisError(const std::string& what) : Error(what) {}
 };
 
+/// Admission control rejected the request: a tenant queue or the worker
+/// pool is saturated. Transient by definition — retry after the hint
+/// carried on the structured ErrorInfo (ErrorCode::kOverloaded).
+class OverloadedError : public Error {
+ public:
+  explicit OverloadedError(const std::string& what) : Error(what) {}
+};
+
 /// Throws E with `what` when `condition` is false. Used to validate
 /// preconditions at public API boundaries (I.5).
 template <class E = Error>

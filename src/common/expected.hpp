@@ -28,16 +28,19 @@ namespace biosens {
 
 /// Error classes, mirroring the exception taxonomy of common/error.hpp
 /// one-to-one plus the engine's QC soft-fail (which was never an
-/// exception: a rejected measurement is a result, not a crash).
+/// exception: a rejected measurement is a result, not a crash) and the
+/// service's admission rejection (backpressure is a result too: the
+/// caller is told to retry later, nothing crashed).
 enum class ErrorCode {
-  kSpec,      ///< specification violates the compositional rules
-  kNumerics,  ///< numerical routine got invalid input / did not converge
-  kAnalysis,  ///< step could not produce a meaningful result
-  kQcReject,  ///< measurement completed but failed quality control
-  kInternal,  ///< anything else (foreign exception, logic error)
+  kSpec,        ///< specification violates the compositional rules
+  kNumerics,    ///< numerical routine got invalid input / did not converge
+  kAnalysis,    ///< step could not produce a meaningful result
+  kQcReject,    ///< measurement completed but failed quality control
+  kOverloaded,  ///< admission control rejected: queue/tenant saturated
+  kInternal,    ///< anything else (foreign exception, logic error)
 };
 
-inline constexpr std::size_t kErrorCodeCount = 5;
+inline constexpr std::size_t kErrorCodeCount = 6;
 
 /// The library layer an error originated in. Shared by the error
 /// taxonomy and the observability subsystem (src/obs/): a failed span is
@@ -54,9 +57,10 @@ enum class Layer {
   kClassify,
   kCore,
   kEngine,
+  kService,
 };
 
-inline constexpr std::size_t kLayerCount = 10;
+inline constexpr std::size_t kLayerCount = 11;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) {
   switch (code) {
@@ -64,6 +68,7 @@ inline constexpr std::size_t kLayerCount = 10;
     case ErrorCode::kNumerics: return "numerics";
     case ErrorCode::kAnalysis: return "analysis";
     case ErrorCode::kQcReject: return "qc-reject";
+    case ErrorCode::kOverloaded: return "overloaded";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";
@@ -81,6 +86,7 @@ inline constexpr std::size_t kLayerCount = 10;
     case Layer::kClassify: return "classify";
     case Layer::kCore: return "core";
     case Layer::kEngine: return "engine";
+    case Layer::kService: return "service";
   }
   return "unknown";
 }
@@ -96,12 +102,17 @@ struct ErrorInfo {
   std::string message;
   /// Caller context, innermost first; built by ctx() wrapping.
   std::vector<std::string> context;
+  /// Backpressure hint (kOverloaded only): how long the rejected caller
+  /// should wait before retrying. 0 = no hint.
+  double retry_after_s = 0.0;
 
   /// A transient failure worth re-measuring: numerical trouble on noisy
-  /// data or a QC rejection. Spec violations and analysis misuse are
+  /// data, a QC rejection, or an admission rejection (the queue will
+  /// eventually have room). Spec violations and analysis misuse are
   /// deterministic — retrying them burns budget for nothing.
   [[nodiscard]] bool retryable() const {
-    return code == ErrorCode::kNumerics || code == ErrorCode::kQcReject;
+    return code == ErrorCode::kNumerics || code == ErrorCode::kQcReject ||
+           code == ErrorCode::kOverloaded;
   }
 
   /// One-line rendering: "[layer/stage] code: message (via: a <- b)".
@@ -134,6 +145,7 @@ struct ErrorInfo {
       case ErrorCode::kNumerics: throw NumericsError(what);
       case ErrorCode::kAnalysis: throw AnalysisError(what);
       case ErrorCode::kQcReject: throw AnalysisError(what);
+      case ErrorCode::kOverloaded: throw OverloadedError(what);
       case ErrorCode::kInternal: break;
     }
     throw Error(what);
@@ -154,6 +166,8 @@ struct ErrorInfo {
       info.code = ErrorCode::kNumerics;
     } else if (dynamic_cast<const AnalysisError*>(&e) != nullptr) {
       info.code = ErrorCode::kAnalysis;
+    } else if (dynamic_cast<const OverloadedError*>(&e) != nullptr) {
+      info.code = ErrorCode::kOverloaded;
     } else {
       info.code = ErrorCode::kInternal;
     }

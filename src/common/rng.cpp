@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 
@@ -73,6 +74,26 @@ double Rng::normal(double mean, double stddev) {
 }
 
 Rng Rng::split() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+RngState Rng::save_state() const {
+  RngState state;
+  state.words = state_;
+  state.has_cached_normal = has_cached_normal_;
+  if (has_cached_normal_) {
+    state.cached_normal_bits = std::bit_cast<std::uint64_t>(cached_normal_);
+  }
+  return state;
+}
+
+Rng Rng::from_state(const RngState& state) {
+  Rng rng(0);
+  rng.state_ = state.words;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  if (state.has_cached_normal) {
+    rng.cached_normal_ = std::bit_cast<double>(state.cached_normal_bits);
+  }
+  return rng;
+}
 
 Rng Rng::child(std::uint64_t index) const {
   // Fold the full 256-bit state into one key, then mix the index in

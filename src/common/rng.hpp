@@ -14,6 +14,18 @@
 
 namespace biosens {
 
+/// The complete state of an Rng, as plain words: the four xoshiro256++
+/// state words plus the Box-Muller half-pair cache (the cached normal is
+/// carried as its raw bit pattern so a save/restore round trip is
+/// byte-exact). This is the "RNG stream position" a service session
+/// snapshot serializes: restoring it resumes the stream at exactly the
+/// draw where the snapshot was taken (docs/service.md).
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  std::uint64_t cached_normal_bits = 0;  ///< bit pattern of the cached deviate
+  bool has_cached_normal = false;
+};
+
 /// SplitMix64: used to expand a single 64-bit seed into engine state.
 class SplitMix64 {
  public:
@@ -68,6 +80,14 @@ class Rng {
   /// distinct indices are statistically independent of each other and of
   /// the parent; the same index always yields the same stream.
   [[nodiscard]] Rng child(std::uint64_t index) const;
+
+  /// Captures the complete generator state (stream position included)
+  /// without consuming any of it. `from_state(save_state())` is the
+  /// identity: both generators produce the same stream forever.
+  [[nodiscard]] RngState save_state() const;
+
+  /// Rebuilds a generator at an exact saved stream position.
+  [[nodiscard]] static Rng from_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,84 @@
+// Bit-exact key-value text serialization.
+//
+// The service's session snapshots (docs/service.md) must round-trip
+// *byte-identically*: a restored session has to reproduce the exact
+// measurement stream an uninterrupted one would have produced, so every
+// double crosses the format as its raw IEEE-754 bit pattern (hex u64),
+// never as a decimal rendering. The format is deliberately primitive —
+// one `key value` pair per line, values either hex u64s, decimal
+// counts, or whitespace-free strings — so snapshots stay greppable,
+// diffable, and versionable without a serialization library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace biosens::serialize {
+
+/// Exact double <-> u64 bit-pattern conversions (the only sanctioned
+/// way a double enters or leaves a snapshot).
+[[nodiscard]] std::uint64_t double_bits(double value);
+[[nodiscard]] double bits_double(std::uint64_t bits);
+
+/// Renders a u64 as fixed-width lowercase hex ("0x" + 16 digits).
+[[nodiscard]] std::string hex_u64(std::uint64_t value);
+
+/// Parses hex_u64 output (with or without the 0x prefix).
+[[nodiscard]] Expected<std::uint64_t> try_parse_u64(std::string_view text);
+
+/// Appends `key value` lines to a text buffer. Keys must be
+/// whitespace-free; string values must be whitespace-free too (tenant
+/// names, enum tags — the snapshot vocabulary is identifiers, not
+/// prose).
+class KvWriter {
+ public:
+  void u64(std::string_view key, std::uint64_t value);
+  void f64(std::string_view key, double value);  ///< bit-exact, as hex
+  void count(std::string_view key, std::uint64_t value);  ///< decimal
+  void text(std::string_view key, std::string_view value);
+  /// One `key n v0 v1 ...` line, every element bit-exact hex.
+  void f64_array(std::string_view key, const std::vector<double>& values);
+  void u64_array(std::string_view key,
+                 const std::vector<std::uint64_t>& values);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Reads KvWriter output. Lines are consumed in order; every getter
+/// checks the key it consumes, so a malformed or reordered snapshot
+/// surfaces as a structured error naming the offending key instead of
+/// silently mis-assigning fields.
+class KvReader {
+ public:
+  explicit KvReader(std::string_view text);
+
+  [[nodiscard]] Expected<std::uint64_t> try_u64(std::string_view key);
+  [[nodiscard]] Expected<double> try_f64(std::string_view key);
+  [[nodiscard]] Expected<std::uint64_t> try_count(std::string_view key);
+  [[nodiscard]] Expected<std::string> try_text(std::string_view key);
+  [[nodiscard]] Expected<std::vector<double>> try_f64_array(
+      std::string_view key);
+  [[nodiscard]] Expected<std::vector<std::uint64_t>> try_u64_array(
+      std::string_view key);
+
+  /// True when every line has been consumed.
+  [[nodiscard]] bool exhausted() const { return next_ >= lines_.size(); }
+
+ private:
+  /// The next line split into whitespace-separated fields; errors when
+  /// the stream is exhausted or the key does not match.
+  [[nodiscard]] Expected<std::vector<std::string>> try_line(
+      std::string_view key, std::size_t min_fields);
+
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace biosens::serialize

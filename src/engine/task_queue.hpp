@@ -1,0 +1,78 @@
+// The worker pool's task store, extracted so scheduling policy is a
+// type, not a field.
+//
+// ThreadPool originally hard-coded one std::deque; the service layer
+// (src/service/) needs the pool to honor a two-level priority scheme —
+// point-of-care (interactive) work overtakes bulk re-simulation at the
+// *final* hop too, not just in the service's own per-tenant queues. The
+// queue is a plain container: not thread-safe on its own, always
+// manipulated under the owning pool's mutex. Capacity covers both lanes
+// together, so the pool's backpressure bound is unchanged by priority.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+
+namespace biosens::engine {
+
+/// The pool's two priority lanes. High is for latency-sensitive
+/// interactive work (a patient waiting at the point of care); normal is
+/// everything else. Workers always drain high before normal.
+enum class TaskPriority {
+  kHigh,
+  kNormal,
+};
+
+/// Bounded two-lane FIFO of type-erased tasks. One shared capacity, two
+/// lanes; pop order is high-lane-first, FIFO within a lane.
+class TwoLaneTaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  explicit TwoLaneTaskQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is at capacity (the caller applies its
+  /// blocking or rejecting backpressure policy).
+  [[nodiscard]] bool push(Task&& task, TaskPriority priority) {
+    if (size() >= capacity_) return false;
+    lane(priority).push_back(std::move(task));
+    return true;
+  }
+
+  /// Next task in scheduling order; requires !empty().
+  [[nodiscard]] Task pop() {
+    std::deque<Task>& from = high_.empty() ? normal_ : high_;
+    Task task = std::move(from.front());
+    from.pop_front();
+    return task;
+  }
+
+  /// Discards everything queued; returns how many tasks were dropped
+  /// (the pool reports this from shutdown_now so no work vanishes
+  /// silently).
+  std::size_t clear() {
+    const std::size_t dropped = size();
+    high_.clear();
+    normal_.clear();
+    return dropped;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return high_.size() + normal_.size();
+  }
+  [[nodiscard]] bool empty() const { return high_.empty() && normal_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::deque<Task>& lane(TaskPriority priority) {
+    return priority == TaskPriority::kHigh ? high_ : normal_;
+  }
+
+  const std::size_t capacity_;
+  std::deque<Task> high_;
+  std::deque<Task> normal_;
+};
+
+}  // namespace biosens::engine

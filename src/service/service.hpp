@@ -1,0 +1,198 @@
+// SimulationService: the long-lived, multi-tenant front of the
+// simulation engine.
+//
+// Where engine::Engine runs one batch to completion, the service is a
+// *resident* process component: it owns the worker pool for its whole
+// lifetime and hosts stateful patient sessions that stream measurement
+// requests in over hours or days (open_session -> submit_measurement*
+// -> advance_time* -> close_session). Three service-grade properties
+// sit on top of the engine substrate (docs/service.md):
+//
+//  1. Fairness + priority. Sessions live in sharded per-tenant queues;
+//     a round-robin ring over tenants (per shard, per priority class)
+//     picks the next measurement, so one chatty tenant cannot starve
+//     the others, and interactive (point-of-care) work overtakes bulk
+//     re-simulation at every hop down to the pool's high lane.
+//
+//  2. Admission control + backpressure. Every queue is bounded
+//     (src/service/bounded.hpp); when a session, tenant, or the whole
+//     service is saturated, submit returns a structured
+//     ErrorCode::kOverloaded Expected carrying the tenant and a
+//     retry_after_s hint derived from observed execution latency. The
+//     service never aborts and never buffers without bound.
+//
+//  3. Graceful drain/restart. drain() stops admission and quiesces
+//     every session and the pool; quiesced sessions snapshot to
+//     bit-exact text (session.hpp) and restore byte-identically, so a
+//     restart is invisible in the measurement streams.
+//
+// SLO instruments (queue wait, execution latency, time-to-first-result,
+// per-class and per-tenant counters) feed the same obs/ exposition the
+// rest of the platform uses.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "obs/instruments.hpp"
+#include "service/session.hpp"
+
+namespace biosens::obs {
+class TraceSession;
+}
+
+namespace biosens::engine {
+class ThreadPool;
+}
+
+namespace biosens::service {
+
+struct ServiceOptions {
+  std::size_t workers = 4;
+  /// Tenant-queue shards; session ids encode their shard so lookups
+  /// never scan. Clamped into [1, 64].
+  std::size_t shards = 8;
+  std::size_t max_sessions = 1u << 20;
+  /// Bounds, each with its own kOverloaded rejection message:
+  std::size_t max_pending_per_session = 256;
+  std::size_t max_pending_per_tenant = 1024;
+  std::size_t max_pending_total = 1u << 14;
+  /// Hard ceiling on a session's lifetime measurement count (the record
+  /// stream is kept for close/snapshot, so it must be bounded too).
+  std::size_t max_records_per_session = 1u << 20;
+  /// Pool task-queue depth; 0 means 2 * workers.
+  std::size_t pool_queue_capacity = 0;
+  /// retry_after_s floor, and the hint when no latency data exists yet.
+  double default_retry_after_s = 0.005;
+};
+
+/// SLO instruments for one priority class. Lock-free; read at any time.
+struct ClassSlo {
+  obs::Counter submitted;
+  obs::Counter completed;  ///< measurements that returned a value
+  obs::Counter failed;     ///< measurements that returned an error
+  obs::Counter rejected;   ///< admission rejections (kOverloaded)
+  obs::LatencyHistogram queue_wait;  ///< submit -> execution start
+  obs::LatencyHistogram exec;        ///< body execution time
+  obs::LatencyHistogram time_to_first_result;  ///< open -> first record
+};
+
+/// Point-in-time service gauges.
+struct ServiceStats {
+  std::uint64_t open_sessions = 0;
+  std::uint64_t pending = 0;    ///< queued + executing measurements
+  std::uint64_t in_flight = 0;  ///< handed to the pool, not yet finished
+};
+
+class SimulationService {
+ public:
+  explicit SimulationService(ServiceOptions options = {});
+
+  /// Stops admission, finishes everything queued, joins the workers.
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  /// Opens a stateful session for `options.tenant`. Rejects with
+  /// kOverloaded when the session table is full, kSpec on a malformed
+  /// tenant name or missing body.
+  [[nodiscard]] Expected<SessionId> try_open_session(SessionOptions options);
+
+  /// Enqueues the session's next measurement; returns its index.
+  /// kOverloaded (with tenant + retry_after_s) when the session queue,
+  /// the tenant budget, or the service budget is saturated, or while
+  /// draining. Never blocks.
+  [[nodiscard]] Expected<std::uint64_t> try_submit_measurement(SessionId id);
+
+  /// Advances the session's simulated clock (visible to subsequent
+  /// measurements as SessionContext::sim_time_s). kSpec on dt < 0.
+  [[nodiscard]] Expected<void> try_advance_time(SessionId id, double dt_s);
+
+  /// Blocks until the session has no queued or executing measurements.
+  [[nodiscard]] Expected<void> try_wait_idle(SessionId id);
+
+  /// Copy of the session's completed records so far, ordered by index.
+  [[nodiscard]] Expected<std::vector<MeasurementRecord>> try_stream(
+      SessionId id);
+
+  /// Waits for the session to quiesce, returns its full summary, and
+  /// frees it. The id is invalid afterwards.
+  [[nodiscard]] Expected<SessionSummary> try_close_session(SessionId id);
+
+  /// Graceful drain: stop admitting measurements, wait until every
+  /// session and the pool are idle. The service stays up — sessions can
+  /// be snapshotted, then resume() re-opens admission.
+  void drain();
+  void resume();
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes a quiesced session (drain first; kSpec when the session
+  /// still has queued or executing work).
+  [[nodiscard]] Expected<SessionSnapshot> try_snapshot(SessionId id);
+
+  /// Recreates a session from a snapshot, resuming its streams exactly
+  /// where they stopped. The body is supplied fresh (snapshots carry
+  /// state, not code).
+  [[nodiscard]] Expected<SessionId> try_restore(
+      SessionBody body, const SessionSnapshot& snapshot);
+
+  /// Blocks until no session anywhere has queued or executing work.
+  void wait_all_idle();
+
+  [[nodiscard]] const ClassSlo& slo(PriorityClass cls) const {
+    return slo_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] std::size_t worker_count() const;
+
+  /// Prometheus 0.0.4 exposition: per-class SLO counters + histograms,
+  /// per-tenant request counters, service gauges; appends the per-layer
+  /// latency attribution of `trace` when given.
+  [[nodiscard]] std::string prometheus_text(
+      const obs::TraceSession* trace = nullptr) const;
+
+ private:
+  struct Request;
+  struct TenantState;
+  struct Session;
+  struct Shard;
+
+  [[nodiscard]] Expected<Shard*> try_shard_of(SessionId id,
+                                              const char* stage) const;
+  [[nodiscard]] Expected<SessionId> insert_session(
+      std::unique_ptr<Session> session, const char* stage);
+
+  /// All four require the shard mutex held.
+  void enqueue_runnable(Shard& shard, Session& session);
+  [[nodiscard]] Session* pick_next(Shard& shard);
+
+  bool dispatch_one(Shard& shard);
+  void pump();
+  void execute(Shard& shard, Session* session, const Request& request);
+  [[nodiscard]] double retry_after_hint(PriorityClass cls,
+                                        std::uint64_t backlog) const;
+
+  ServiceOptions options_;
+  std::array<ClassSlo, kPriorityClassCount> slo_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<engine::ThreadPool> pool_;
+  std::size_t dispatch_limit_ = 0;
+  std::atomic<std::uint64_t> next_session_seq_{1};
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::atomic<std::size_t> next_shard_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> pending_total_{0};
+  std::atomic<std::uint64_t> open_sessions_{0};
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace biosens::service

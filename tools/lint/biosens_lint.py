@@ -24,6 +24,11 @@ Checks (check-id -> invariant):
                           carries [[nodiscard]]
   hot-path-discipline     no std::function construction or heap
                           allocation inside BIOSENS_HOT functions
+  service-discipline      unbounded growth primitives (push_back,
+                          emplace_back, push/emplace_front, .push(,
+                          thread detach) confined to
+                          src/service/bounded.hpp — every service
+                          queue must carry a capacity
 
 Output format: file:line: [check-id] message
 
@@ -641,9 +646,59 @@ class HotPathDiscipline(Check):
         return out
 
 
+class ServiceDiscipline(Check):
+    """src/service/ is the resident, admission-controlled layer: every
+    queue must be bounded so a tenant burst degrades into structured
+    kOverloaded rejections instead of unbounded memory growth. Raw
+    container-growth primitives (and fire-and-forget thread detach) are
+    confined to src/service/bounded.hpp, the audited capacity-checked
+    wrappers everything else must go through."""
+
+    check_id = "service-discipline"
+    SCOPE_DIRS = ("src/service/",)
+    ALLOWED_FILES = ("src/service/bounded.hpp",)
+    BANNED_GROWTH = {"push_back", "emplace_back", "push_front",
+                     "emplace_front", "push"}
+
+    def run(self, src: SourceFile) -> list:
+        if not in_dirs(src.effective_path, self.SCOPE_DIRS):
+            return []
+        if is_file(src.effective_path, self.ALLOWED_FILES):
+            return []
+        out = []
+        toks = src.tokens
+        for i, tok in enumerate(toks):
+            if tok.kind != IDENT:
+                continue
+            banned = tok.text in self.BANNED_GROWTH or tok.text == "detach"
+            if not banned:
+                continue
+            prev = toks[i - 1].text if i > 0 else ""
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            # Only member calls count: `q.push_back(...)` / `t->push(...)`.
+            # Names that merely contain the word (try_push_back) are
+            # separate identifiers and never match.
+            if prev not in (".", "->") or nxt != "(":
+                continue
+            if tok.text == "detach":
+                out.append(Finding(
+                    src.path, tok.line, self.check_id,
+                    "thread '.detach()' in src/service/ — detached "
+                    "threads outlive drain(); keep workers joinable and "
+                    "owned by the pool"))
+            else:
+                out.append(Finding(
+                    src.path, tok.line, self.check_id,
+                    f"unbounded growth '.{tok.text}(' in src/service/ — "
+                    "grow through BoundedDeque::try_push_* or "
+                    "bounded_append (src/service/bounded.hpp) so the "
+                    "queue carries a capacity"))
+        return out
+
+
 ALL_CHECKS = [ThrowDiscipline(), SpanDiscipline(), SpanTemporary(),
               DeterminismDiscipline(), ExpectedDiscard(), NodiscardDecl(),
-              HotPathDiscipline()]
+              HotPathDiscipline(), ServiceDiscipline()]
 CHECK_IDS = {c.check_id for c in ALL_CHECKS}
 
 
