@@ -14,13 +14,16 @@
 #   6. ubsan              UndefinedBehaviorSanitizer over error paths
 #   7. asan               AddressSanitizer+LeakSanitizer over the
 #                         allocation-bearing engine/cache/obs tests
-#   8. perf               solver step-rate smoke vs BENCH_sim.json and
-#                         service throughput vs BENCH_service.json
+#   8. perf               solver step-rate smoke vs BENCH_sim.json,
+#                         service throughput vs BENCH_service.json and
+#                         FET-backend measurement rate vs the "fet"
+#                         section of BENCH_engine.json
 #   9. obs                traced smoke run + exporter validation
 #  10. service            streaming sessions under overload: saturation
-#                         tests, mixed-priority demo with mid-run
-#                         drain/restore, per-tenant and per-priority
-#                         Prometheus series validation
+#                         tests, mixed-priority demo (amperometric +
+#                         FET patients) with mid-run drain/restore,
+#                         per-tenant and per-priority Prometheus series
+#                         validation
 #
 #   ci/check.sh            # everything
 #   ci/check.sh <stage>    # one stage: lint|format|tidy|release|tsan|
@@ -185,6 +188,33 @@ run_perf() {
     echo "perf smoke: service throughput regressed more than 50%" >&2
     exit 1
   }
+  # FET backend measurement rate vs the "fet" section of
+  # BENCH_engine.json (docs/transducers.md). bench_fet also asserts
+  # cache on/off byte-identity inline and exits nonzero on violation,
+  # so a determinism break in the new backend fails here too.
+  cmake --build build-ci -j "${JOBS}" --target bench_fet
+  fet_out="$(BIOSENS_SMOKE=1 ./build-ci/bench/bench_fet)"
+  printf '%s\n' "${fet_out}"
+  fet_current="$(printf '%s\n' "${fet_out}" \
+    | sed -n 's/^fet_measurements_per_sec=\([0-9.]*\)$/\1/p')"
+  fet_baseline="$(sed -n \
+    's/.*"fet_meas_per_sec": \([0-9.]*\).*/\1/p' BENCH_engine.json \
+    | head -n 1)"
+  if [ -z "${fet_current}" ] || [ -z "${fet_baseline}" ]; then
+    echo "perf smoke: could not parse FET measurement rates" >&2
+    echo "  (bench printed '${fet_current:-?}'," \
+         "baseline '${fet_baseline:-?}')" >&2
+    exit 1
+  fi
+  awk -v cur="${fet_current}" -v base="${fet_baseline}" 'BEGIN {
+    floor = 0.50 * base;
+    printf "perf smoke: %.0f FET meas/s vs baseline %.0f (floor %.0f)\n",
+           cur, base, floor;
+    exit (cur >= floor) ? 0 : 1;
+  }' || {
+    echo "perf smoke: FET measurement rate regressed more than 50%" >&2
+    exit 1
+  }
 }
 
 run_obs() {
@@ -312,11 +342,20 @@ for cls in ("interactive", "bulk"):
         f"{cls}: submitted {sub} != completed {done} + failed {fail}"
 
 # Per-tenant series: every demo tenant shows up with its own labels.
+# fet-ward is the patient streaming through the field-effect backend
+# (docs/transducers.md) — its presence proves the mixed
+# amperometric+FET panel ran end-to-end through the service.
 tenants = {dict(kv).get("tenant")
            for (n, kv) in counters
            if n == "biosens_service_tenant_requests_total"}
-for tenant in ("clinic-a", "ward-c", "lab-bulk"):
+for tenant in ("clinic-a", "ward-c", "fet-ward", "lab-bulk"):
     assert tenant in tenants, f"missing per-tenant series for {tenant}"
+
+# The FET session must have completed real measurements, not just
+# opened: completed interactive work from fet-ward specifically.
+fet_done = total("biosens_service_tenant_requests_total",
+                 tenant="fet-ward", outcome="completed")
+assert fet_done > 0, "fet-ward session completed no measurements"
 
 # Clean drain: the exposition is written after the final drain, so
 # nothing may still be queued or running.

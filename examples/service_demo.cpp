@@ -29,10 +29,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "chem/solution.hpp"
 #include "common/table.hpp"
+#include "core/catalog.hpp"
+#include "core/sensor.hpp"
 #include "obs/export_chrome.hpp"
 #include "obs/export_jsonl.hpp"
 #include "obs/export_prometheus.hpp"
@@ -91,21 +95,26 @@ DemoConfig parse_args(int argc, char** argv) {
   return config;
 }
 
-/// The demo's patient roster: tenant, priority class, seed, and the
-/// patient's fasting glucose baseline in mM.
+/// The demo's patient roster: tenant, priority class, seed, the
+/// patient's fasting glucose baseline in mM, and which sensor reads
+/// them. Most patients wear the paper's amperometric GOD sensor; the
+/// fet-ward patient streams through the CNT bioFET backend
+/// (docs/transducers.md) — same service, zero special-casing.
 struct PatientSpec {
   const char* tenant;
   service::PriorityClass priority;
   std::uint64_t seed;
   double baseline_mM;
+  bool fet_sensor;
 };
 
 constexpr PatientSpec kRoster[] = {
-    {"clinic-a", service::PriorityClass::kInteractive, 101, 5.1},
-    {"clinic-a", service::PriorityClass::kInteractive, 102, 6.3},
-    {"ward-c", service::PriorityClass::kInteractive, 201, 4.8},
-    {"lab-bulk", service::PriorityClass::kBulk, 301, 5.6},
-    {"lab-bulk", service::PriorityClass::kBulk, 302, 5.9},
+    {"clinic-a", service::PriorityClass::kInteractive, 101, 5.1, false},
+    {"clinic-a", service::PriorityClass::kInteractive, 102, 6.3, false},
+    {"ward-c", service::PriorityClass::kInteractive, 201, 4.8, false},
+    {"fet-ward", service::PriorityClass::kInteractive, 401, 5.4, true},
+    {"lab-bulk", service::PriorityClass::kBulk, 301, 5.6, false},
+    {"lab-bulk", service::PriorityClass::kBulk, 302, 5.9, false},
 };
 constexpr std::size_t kPatients = sizeof(kRoster) / sizeof(kRoster[0]);
 
@@ -128,6 +137,35 @@ service::SessionBody make_body(double baseline_mM) {
     }
     return glucose_mM;
   };
+}
+
+/// The fet-ward patient's stream runs the real CNT-BA bioFET transducer
+/// on every submission: the same physiological drift model sets the
+/// glucose level, then the full field-effect pipeline (binding ->
+/// Dirac-shift -> noisy hold) produces the drain-current reading from
+/// the measurement's child RNG stream. Returns the response in amps.
+service::SessionBody make_fet_body(double baseline_mM) {
+  const auto sensor = std::make_shared<core::BiosensorModel>(
+      core::entry_or_throw("CNT-BA FET").spec);
+  return [baseline_mM,
+          sensor](service::SessionContext& c) -> Expected<double> {
+    double& drift = c.state[0];
+    drift += 0.02 * c.session_rng.normal();
+    const double meal =
+        1.8 * std::exp(-std::fmod(c.sim_time_s, 21600.0) / 5400.0);
+    const double glucose_mM = std::clamp(
+        baseline_mM + drift + meal + c.rng.normal(0.0, 0.08), 0.6, 12.5);
+    const chem::Sample s = chem::calibration_sample(
+        sensor->spec().target, Concentration::milli_molar(glucose_mM));
+    auto m = sensor->try_measure(s, c.rng);
+    if (!m.has_value()) return m.error();
+    return m.value().response_a;
+  };
+}
+
+service::SessionBody body_for(const PatientSpec& patient) {
+  return patient.fet_sensor ? make_fet_body(patient.baseline_mM)
+                            : make_body(patient.baseline_mM);
 }
 
 template <class T>
@@ -197,7 +235,7 @@ DayOutcome run_day(const DemoConfig& config, bool interrupted,
     session.tenant = kRoster[p].tenant;
     session.priority = kRoster[p].priority;
     session.seed = kRoster[p].seed;
-    session.body = make_body(kRoster[p].baseline_mM);
+    session.body = body_for(kRoster[p]);
     session.initial_state = {0.0};  // accumulated physiological drift
     ids[p] = must(svc.try_open_session(std::move(session)), "open_session");
   }
@@ -227,9 +265,8 @@ DayOutcome run_day(const DemoConfig& config, bool interrupted,
       for (std::size_t p = 0; p < kPatients; ++p) {
         const service::SessionSnapshot snapshot = must(
             service::SessionSnapshot::try_decode(encoded[p]), "decode");
-        ids[p] = must(
-            svc.try_restore(make_body(kRoster[p].baseline_mM), snapshot),
-            "restore");
+        ids[p] = must(svc.try_restore(body_for(kRoster[p]), snapshot),
+                      "restore");
       }
       if (verbose) {
         std::printf(

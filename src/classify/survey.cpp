@@ -163,6 +163,13 @@ const std::vector<SurveyEntry>& database() {
       {"this work", "MWCNT + oxidase/CYP electrochemical platform",
        TC::kDrug, SE::kEnzyme, TR::kAmperometric, NM::kCarbonNanotube,
        ET::kDisposable, true},
+      // --- FET catalog devices (core/catalog fet_entries) ---
+      {"arXiv:1304.7253", "CNT-network boronic-acid glucose FET",
+       TC::kMetabolite, SE::kReceptor, TR::kFieldEffect,
+       NM::kCarbonNanotube, ET::kMicrofabricated, true},
+      {"arXiv:1808.05557", "graphene PBA Dirac-shift glucose FET",
+       TC::kMetabolite, SE::kReceptor, TR::kFieldEffect, NM::kGraphene,
+       ET::kMicrofabricated, true},
   };
   return kEntries;
 }

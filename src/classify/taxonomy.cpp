@@ -70,6 +70,8 @@ std::string_view to_string(Nanomaterial v) {
       return "carbon nanotube";
     case Nanomaterial::kOtherNanotube:
       return "non-carbon nanotube";
+    case Nanomaterial::kGraphene:
+      return "graphene";
   }
   return "unknown";
 }

@@ -8,6 +8,7 @@
 // classified, filtered and counted programmatically.
 #pragma once
 
+#include <cstddef>
 #include <string_view>
 
 namespace biosens::classify {
@@ -50,6 +51,7 @@ enum class Nanomaterial {
   kNanowire,         ///< metallic/semiconductor wires
   kCarbonNanotube,   ///< SWCNT/MWCNT (this paper's platform)
   kOtherNanotube,    ///< titanate and other non-carbon tubes
+  kGraphene,         ///< mono/few-layer graphene channels (FET devices)
 };
 
 /// Section 2.5 — electrode/system technology.
@@ -60,6 +62,16 @@ enum class ElectrodeTechnology {
   kMicrofabricated, ///< chip-scale electrodes
   kCmosIntegrated,  ///< electrodes co-integrated with readout [17]
 };
+
+// Enumerator counts for each axis. Tests iterate [0, kXCount) to prove
+// the to_string/is_cmos_friendly switches stay exhaustive; bump the
+// matching constant whenever an enumerator is added, or the coverage
+// test fails with "unknown".
+inline constexpr std::size_t kTargetClassCount = 5;
+inline constexpr std::size_t kSensingElementCount = 4;
+inline constexpr std::size_t kTransductionCount = 8;
+inline constexpr std::size_t kNanomaterialCount = 8;
+inline constexpr std::size_t kElectrodeTechnologyCount = 5;
 
 [[nodiscard]] std::string_view to_string(TargetClass v);
 [[nodiscard]] std::string_view to_string(SensingElement v);

@@ -58,9 +58,10 @@ enum class Layer {
   kCore,
   kEngine,
   kService,
+  kFet,  ///< field-effect transduction backend (appended: values are stable)
 };
 
-inline constexpr std::size_t kLayerCount = 11;
+inline constexpr std::size_t kLayerCount = 12;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) {
   switch (code) {
@@ -87,6 +88,7 @@ inline constexpr std::size_t kLayerCount = 11;
     case Layer::kCore: return "core";
     case Layer::kEngine: return "engine";
     case Layer::kService: return "service";
+    case Layer::kFet: return "fet";
   }
   return "unknown";
 }

@@ -1,6 +1,7 @@
 #include "core/catalog.hpp"
 
 #include "common/error.hpp"
+#include "fet/design.hpp"
 
 namespace biosens::core {
 namespace {
@@ -48,6 +49,34 @@ Geometry gold_film_macro() {
   g.name = "Au film on grown MWCNT";
   g.working_material = electrode::Material::kGold;
   return g;
+}
+
+/// Builds one calibrated field-effect catalog entry: fet/design solves
+/// the device's receptor density, K_d, and flicker floor so the standard
+/// calibration protocol measures `published`.
+CatalogEntry make_fet_entry(std::string name, std::string citation,
+                            std::string target, fet::DeviceParams device,
+                            PublishedFigures published) {
+  fet::FigureTargets targets;
+  targets.sensitivity = published.sensitivity;
+  targets.range_low = published.range_low;
+  targets.range_high = published.range_high;
+  targets.lod = published.lod.value();  // FET rows always publish an LOD
+  fet::calibrate_to_figures(device, target, targets);
+
+  SensorSpec spec;
+  spec.name = std::move(name);
+  spec.citation = std::move(citation);
+  spec.target = std::move(target);
+  spec.technique = Technique::kFieldEffectTransfer;
+  // The platform scheduler and sample-volume budget read these geometry
+  // fields; everything physical lives in the device params.
+  spec.assembly.geometry.name = spec.name;
+  spec.assembly.geometry.working_area = device.channel_area;
+  spec.assembly.geometry.min_sample_volume = Volume::microliters(10.0);
+  spec.fet = std::move(device);
+  spec.validate();
+  return {std::move(spec), published, false};
 }
 
 }  // namespace
@@ -205,6 +234,29 @@ std::vector<CatalogEntry> full_catalog() {
   return out;
 }
 
+std::vector<CatalogEntry> fet_entries() {
+  // Inverse design is iterative; build the section once and hand out
+  // copies.
+  static const std::vector<CatalogEntry> kCached = [] {
+    std::vector<CatalogEntry> out;
+    out.push_back(make_fet_entry(
+        "CNT-BA FET", "arXiv:1304.7253", "glucose",
+        fet::cnt_boronic_acid_glucose(),
+        figures(2.0e5, 0.5, 13.0, 300.0)));
+    out.push_back(make_fet_entry(
+        "Graphene-PBA FET", "arXiv:1808.05557", "glucose",
+        fet::graphene_pba_glucose(), figures(8.0e4, 0.2, 8.0, 50.0)));
+    return out;
+  }();
+  return kCached;
+}
+
+std::vector<CatalogEntry> extended_catalog() {
+  std::vector<CatalogEntry> out = full_catalog();
+  for (const CatalogEntry& e : fet_entries()) out.push_back(e);
+  return out;
+}
+
 std::vector<CatalogEntry> extension_entries() {
   static const std::vector<CatalogEntry> kCached = [] {
   std::vector<CatalogEntry> out;
@@ -237,7 +289,7 @@ std::vector<CatalogEntry> extension_entries() {
 Expected<CatalogEntry> try_entry(std::string_view name) {
   // Two rows may share a label (the paper reuses "MWCNT/Nafion + GOD");
   // "name [citation]" and "name (this work)" disambiguate.
-  std::vector<CatalogEntry> all = full_catalog();
+  std::vector<CatalogEntry> all = extended_catalog();
   for (CatalogEntry& e : extension_entries()) all.push_back(std::move(e));
   for (CatalogEntry& e : all) {
     const std::string qualified = e.spec.name + " " + e.spec.citation;

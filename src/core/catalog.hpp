@@ -43,6 +43,18 @@ struct CatalogEntry {
 /// All catalog entries (Table 2 order, platform rows included).
 [[nodiscard]] std::vector<CatalogEntry> full_catalog();
 
+/// Extended Table 2, FET section: the two field-effect glucose devices
+/// (CNT-network boronic-acid FET, arXiv:1304.7253; graphene PBA
+/// Dirac-shift FET, arXiv:1808.05557). Their device physics is solved by
+/// fet/design so the same calibration protocol measures the published
+/// figures; they are not rows of the paper's own Table 2, so
+/// full_catalog() excludes them.
+[[nodiscard]] std::vector<CatalogEntry> fet_entries();
+
+/// full_catalog() plus the FET section — the extended, multi-transduction
+/// Table 2 the benches print.
+[[nodiscard]] std::vector<CatalogEntry> extended_catalog();
+
 /// Extension devices for the remaining drugs of the multi-panel study
 /// [9] (benzphetamine, dextromethorphan, naproxen, flurbiprofen). Their
 /// published figures are *representative* of [9]-era CYP/SPE sensors,

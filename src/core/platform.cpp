@@ -274,13 +274,10 @@ PanelReport Platform::assay_unmixed(const chem::Sample& sample,
 }
 
 Time Platform::measurement_time(const BiosensorModel& s) const {
-  if (s.spec().technique == Technique::kChronoamperometry) {
-    return s.spec().ca_hold;
-  }
-  const double window =
-      std::abs(s.spec().cv_vertex.volts() - s.spec().cv_start.volts());
-  return Time::seconds(2.0 * window /
-                       s.spec().cv_scan_rate.volts_per_second());
+  // Protocol timing is a transducer property (hold duration, sweep
+  // window, gate dwell); the scheduler no longer special-cases
+  // techniques.
+  return s.measurement_time();
 }
 
 Time Platform::scheduled_panel_time() const {

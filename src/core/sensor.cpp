@@ -1,166 +1,32 @@
 #include "core/sensor.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <memory>
-#include <string_view>
+#include <string>
 #include <utility>
 
-#include "common/constants.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
 
 namespace biosens::core {
-namespace {
-
-/// Laviron surface-redox peak current of a layer at scan rate nu.
-Current surface_redox_peak(const electrode::EffectiveLayer& layer,
-                           ScanRate nu) {
-  const double n = layer.electrons;
-  const double f_over_rt =
-      constants::kFaraday /
-      (constants::kGasConstant * constants::kRoomTemperatureK);
-  return Current::amps(n * n * constants::kFaraday * f_over_rt *
-                       nu.volts_per_second() *
-                       layer.geometric_area.square_meters() *
-                       layer.wired_coverage.mol_per_m2() / 4.0);
-}
-
-}  // namespace
 
 BiosensorModel::BiosensorModel(SensorSpec spec, MeasurementOptions options)
     : spec_(std::move(spec)),
       options_(options),
-      layer_(electrode::synthesize(spec_.assembly)),
-      chain_(readout::SignalChain::for_full_scale(expected_full_scale())) {
+      transducer_(make_transducer(spec_, options_)) {
   spec_.validate();
 }
 
-Current BiosensorModel::expected_full_scale() const {
-  // Catalytic current at K_M is half the layer's maximum; double it and
-  // add background allowances so the rails never clip a real signal.
-  const Current half_max = layer_.catalytic_current(layer_.k_m_app);
-  double fs = 4.0 * std::abs(half_max.amps());
-  if (spec_.is_voltammetric()) {
-    fs += surface_redox_peak(layer_, spec_.cv_scan_rate).amps();
-    fs += layer_.double_layer.farads() *
-          spec_.cv_scan_rate.volts_per_second();
-  }
-  fs += 20.0 * layer_.blank_noise_rms.amps();
-  return Current::amps(std::max(fs, 1e-9));
+const electrode::EffectiveLayer& BiosensorModel::layer() const {
+  const electrode::EffectiveLayer* layer = transducer_->effective_layer();
+  require<SpecError>(layer != nullptr,
+                     "sensor '" + spec_.name +
+                         "' has no electrochemical layer (" +
+                         std::string(to_string(spec_.technique)) + ")");
+  return *layer;
 }
-
-electrochem::Cell BiosensorModel::make_cell(
-    const chem::Sample& sample) const {
-  return electrochem::Cell(layer_, sample, options_.hydrodynamics);
-}
-
-readout::NoiseSpec BiosensorModel::noise_spec() const {
-  readout::NoiseSpec spec;
-  spec.electrode_lf_rms = layer_.blank_noise_rms;
-  return spec;
-}
-
-namespace {
-
-/// Autoranging: pick the channel gain from the ideal trace amplitude, as
-/// a real potentiostat does after its settling read. Blanks get the
-/// highest gain that still resolves the electrode noise.
-template <class Samples>
-Expected<readout::SignalChain> try_autoranged_chain(
-    const Samples& current_a, Current blank_noise,
-    std::size_t smoothing_window) {
-  double peak = 0.0;
-  for (double i : current_a) peak = std::max(peak, std::abs(i));
-  const double fs =
-      std::max(1.3 * peak, 20.0 * std::abs(blank_noise.amps()));
-  auto config = readout::SignalChain::try_for_full_scale(Current::amps(fs));
-  if (!config) {
-    return ctx("autorange", Expected<readout::SignalChain>(config.error()));
-  }
-  readout::ChainConfig cfg = config.value();
-  cfg.smoothing_window = smoothing_window;
-  return ctx("autorange", readout::SignalChain::try_create(std::move(cfg)));
-}
-
-}  // namespace
 
 Measurement BiosensorModel::measure(const chem::Sample& sample,
                                     Rng& rng) const {
   return try_measure(sample, rng).value_or_throw();
-}
-
-engine::CacheKey BiosensorModel::simulation_key(
-    const chem::Sample& sample) const {
-  engine::CacheKey key;
-
-  // Spec identity + protocol parameters.
-  key.add(std::string_view(spec_.name));
-  key.add(std::string_view(spec_.citation));
-  key.add(std::string_view(spec_.target));
-  key.add(static_cast<std::int64_t>(spec_.technique));
-  key.add(spec_.ca_step_potential.volts());
-  key.add(spec_.ca_hold.seconds());
-  key.add(spec_.cv_scan_rate.volts_per_second());
-  key.add(spec_.cv_start.volts());
-  key.add(spec_.cv_vertex.volts());
-
-  // The synthesized layer — every assembly field that reaches the
-  // physics is folded into these (synthesize() is deterministic).
-  key.add(std::string_view(layer_.substrate));
-  key.add(layer_.substrate_diffusivity.m2_per_s());
-  key.add(layer_.wired_coverage.mol_per_m2());
-  key.add(layer_.k_cat_app.per_second());
-  key.add(layer_.k_m_app.molar());
-  key.add(static_cast<std::int64_t>(layer_.electrons));
-  key.add(layer_.geometric_area.square_meters());
-  key.add(static_cast<std::int64_t>(layer_.working_material));
-  key.add(layer_.double_layer.farads());
-  key.add(layer_.blank_noise_rms.amps());
-  key.add(layer_.electron_transfer_rate.per_second());
-  key.add(layer_.formal_potential.volts());
-  key.add(layer_.solution_resistance.ohms());
-  key.add(layer_.area_enhancement);
-  key.add(layer_.interferent_transmission);
-  key.add(layer_.environment.oxygen_km.molar());
-  key.add(layer_.environment.ph_optimum);
-  key.add(layer_.environment.ph_width);
-  key.add(layer_.environment.activation_energy_kj_mol);
-  key.add(static_cast<std::uint64_t>(layer_.secondary.size()));
-  for (const electrode::CrossActivity& s : layer_.secondary) {
-    key.add(std::string_view(s.substrate));
-    key.add(s.diffusivity.m2_per_s());
-    key.add(s.k_cat.per_second());
-    key.add(s.k_m_app.molar());
-    key.add(static_cast<std::int64_t>(s.electrons));
-  }
-
-  // Numerical / protocol options the simulators read.
-  key.add(options_.hydrodynamics.stirred);
-  key.add(options_.hydrodynamics.stir_rate_rpm);
-  key.add(options_.chrono.duration.seconds());
-  key.add(options_.chrono.dt.seconds());
-  key.add(static_cast<std::uint64_t>(options_.chrono.grid_nodes));
-  key.add(options_.chrono.include_capacitive);
-  key.add(options_.chrono.include_interferents);
-  key.add(static_cast<std::uint64_t>(options_.voltammetry.points_per_sweep));
-  key.add(options_.voltammetry.include_capacitive);
-  key.add(options_.voltammetry.include_interferents);
-
-  // The sample: buffer, oxygenation, and the sorted composition map.
-  key.add(std::string_view(sample.buffer().name));
-  key.add(sample.buffer().ph);
-  key.add(sample.buffer().ionic_strength.molar());
-  key.add(sample.buffer().temperature.kelvin());
-  key.add(sample.dissolved_oxygen().molar());
-  const std::vector<std::string> species = sample.species_names();
-  key.add(static_cast<std::uint64_t>(species.size()));
-  for (const std::string& name : species) {
-    key.add(std::string_view(name));
-    key.add(sample.concentration_of(name).molar());
-  }
-  return key;
 }
 
 Expected<Measurement> BiosensorModel::try_measure(
@@ -170,149 +36,10 @@ Expected<Measurement> BiosensorModel::try_measure(
   if (auto v = span.watch(chem::try_validate_species(sample)); !v) {
     return ctx(frame, Expected<Measurement>(v.error()));
   }
-
-  Measurement m;
-  m.technique = spec_.technique;
-
-  // The simulation cache memoizes only this deterministic pre-noise
-  // stage; every noisy stage below it still consumes `rng`, so results
-  // are byte-identical whether a key hits, misses, or no cache exists.
-  engine::CacheKey key;
-  if (cache != nullptr) key = simulation_key(sample);
-
-  if (spec_.technique == Technique::kChronoamperometry) {
-    std::shared_ptr<const electrochem::TimeSeries> ideal;
-    if (cache != nullptr) ideal = cache->find_as<electrochem::TimeSeries>(key);
-    if (!ideal) {
-      electrochem::ChronoOptions chrono = options_.chrono;
-      chrono.duration = spec_.ca_hold;
-      const electrochem::PotentialStep step(Potential::volts(0.0),
-                                            spec_.ca_step_potential,
-                                            spec_.ca_hold);
-      const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
-                                                  chrono);
-      auto run = sim.try_run();
-      if (!run) return ctx(frame, Expected<Measurement>(run.error()));
-      ideal = cache != nullptr
-                  ? cache->put<electrochem::TimeSeries>(
-                        key, std::move(run).value())
-                  : std::make_shared<const electrochem::TimeSeries>(
-                        std::move(run).value());
-    }
-    auto chain = try_autoranged_chain(ideal->current_a,
-                                      layer_.blank_noise_rms,
-                                      options_.smoothing_window);
-    if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
-    auto acquired = chain.value().try_acquire(*ideal, noise_spec(), rng);
-    if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
-    m.trace = std::move(acquired).value();
-    auto tail = m.trace.try_tail_mean_a(0.1);
-    if (!tail) return ctx(frame, Expected<Measurement>(tail.error()));
-    m.response_a = tail.value();
-    return m;
-  }
-
-  if (spec_.technique == Technique::kDifferentialPulseVoltammetry) {
-    std::shared_ptr<const electrochem::DpvTrace> cached;
-    if (cache != nullptr) cached = cache->find_as<electrochem::DpvTrace>(key);
-    if (!cached) {
-      const electrochem::DifferentialPulseSim sim(
-          make_cell(sample), electrochem::standard_cyp_dpv());
-      auto run = sim.try_run();
-      if (!run) return ctx(frame, Expected<Measurement>(run.error()));
-      cached = cache != nullptr
-                   ? cache->put<electrochem::DpvTrace>(key,
-                                                       std::move(run).value())
-                   : std::make_shared<const electrochem::DpvTrace>(
-                         std::move(run).value());
-    }
-    const electrochem::DpvTrace& ideal = *cached;
-
-    // The pulse/base subtraction happens inside one staircase step, so
-    // only the part of the low-frequency background that decorrelates
-    // over the sample gap survives; white noise doubles in variance.
-    readout::NoiseSpec diff_noise = noise_spec();
-    const double gap = ideal.sample_gap_s;
-    const double tau = diff_noise.lf_correlation.seconds();
-    diff_noise.electrode_lf_rms =
-        Current::amps(diff_noise.electrode_lf_rms.amps() *
-                      std::sqrt(2.0 * (1.0 - std::exp(-gap / tau))));
-    diff_noise.white_density_a_per_sqrt_hz *= std::sqrt(2.0);
-
-    // Acquire the differential samples as a uniformly sampled series.
-    electrochem::TimeSeries as_series;
-    const double period = 0.2;  // standard_cyp_dpv step period [s]
-    for (std::size_t k = 0; k < ideal.size(); ++k) {
-      as_series.push(period * static_cast<double>(k + 1),
-                     ideal.delta_current_a[k]);
-    }
-    auto chain = try_autoranged_chain(as_series.current_a,
-                                      diff_noise.electrode_lf_rms,
-                                      options_.smoothing_window);
-    if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
-    auto acquired = chain.value().try_acquire(as_series, diff_noise, rng);
-    if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
-
-    m.dpv.potential_v = ideal.potential_v;
-    m.dpv.delta_current_a = std::move(acquired).value().current_a;
-    m.dpv.sample_gap_s = ideal.sample_gap_s;
-    m.peak = analysis::find_dpv_peak(m.dpv);
-    m.response_a = m.peak.has_value() ? m.peak->height_a : 0.0;
-    return m;
-  }
-
-  std::shared_ptr<const electrochem::Voltammogram> ideal;
-  if (cache != nullptr) ideal = cache->find_as<electrochem::Voltammogram>(key);
-  if (!ideal) {
-    const electrochem::CyclicSweep sweep(spec_.cv_start, spec_.cv_vertex,
-                                         spec_.cv_scan_rate);
-    const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
-                                          options_.voltammetry);
-    auto run = sim.try_run();
-    if (!run) return ctx(frame, Expected<Measurement>(run.error()));
-    ideal = cache != nullptr
-                ? cache->put<electrochem::Voltammogram>(key,
-                                                        std::move(run).value())
-                : std::make_shared<const electrochem::Voltammogram>(
-                      std::move(run).value());
-  }
-  auto chain = try_autoranged_chain(ideal->current_a,
-                                    layer_.blank_noise_rms,
-                                    options_.smoothing_window);
-  if (!chain) return ctx(frame, Expected<Measurement>(chain.error()));
-  auto acquired = chain.value().try_acquire(*ideal, noise_spec(), rng);
-  if (!acquired) return ctx(frame, Expected<Measurement>(acquired.error()));
-  m.voltammogram = std::move(acquired).value();
-  auto peak = analysis::try_find_cathodic_peak(m.voltammogram);
-  if (!peak) return ctx(frame, Expected<Measurement>(peak.error()));
-  m.peak = peak.value();
-  m.response_a = m.peak.has_value() ? m.peak->height_a : 0.0;
-  return m;
-}
-
-double BiosensorModel::ideal_response_a(const chem::Sample& sample) const {
-  if (spec_.technique == Technique::kDifferentialPulseVoltammetry) {
-    const electrochem::DifferentialPulseSim sim(
-        make_cell(sample), electrochem::standard_cyp_dpv());
-    const auto peak = analysis::find_dpv_peak(sim.run());
-    return peak.has_value() ? peak->height_a : 0.0;
-  }
-  if (spec_.technique == Technique::kChronoamperometry) {
-    electrochem::ChronoOptions chrono = options_.chrono;
-    chrono.duration = spec_.ca_hold;
-    const electrochem::PotentialStep step(Potential::volts(0.0),
-                                          spec_.ca_step_potential,
-                                          spec_.ca_hold);
-    const electrochem::ChronoamperometrySim sim(make_cell(sample), step,
-                                                chrono);
-    return sim.run().tail_mean_a(0.1);
-  }
-  const electrochem::CyclicSweep sweep(spec_.cv_start, spec_.cv_vertex,
-                                       spec_.cv_scan_rate);
-  const electrochem::VoltammetrySim sim(make_cell(sample), sweep,
-                                        options_.voltammetry);
-  const auto peak = analysis::find_cathodic_peak(sim.run());
-  return peak.has_value() ? peak->height_a : 0.0;
+  // The backend returns unwrapped errors; the single ctx() here keeps
+  // error chains identical to the pre-seam monolithic pipeline.
+  return ctx(frame,
+             span.watch(transducer_->try_transduce(sample, rng, cache)));
 }
 
 }  // namespace biosens::core

@@ -1,51 +1,27 @@
-// BiosensorModel: a SensorSpec wired to the full measurement pipeline.
+// BiosensorModel: a SensorSpec wired to a transduction backend.
 //
-// measure() runs the complete stack the paper's device runs physically:
-// the enzymatic/electrochemical simulation produces an ideal current
-// trace, the readout chain corrupts and digitizes it, and the analysis
-// step reduces it to one response value (steady-state current for the
-// oxidase sensors, baseline-corrected cathodic peak height for the CYP
-// sensors).
+// measure() runs the complete stack the paper's device runs physically —
+// surface chemistry, signal generation, noisy readout, reduction to one
+// response value — but the mechanism-specific pipeline lives behind the
+// core::Transducer seam (core/transducer.hpp): amperometric specs run
+// the enzymatic/electrochemical simulation + potentiostat chain
+// (src/electrochem/), field-effect specs the transfer-curve + hold
+// readout (src/fet/). Everything above this class (protocol, platform,
+// engine, service) is transduction-agnostic.
 #pragma once
 
-#include <optional>
+#include <memory>
 
-#include "analysis/peaks.hpp"
 #include "chem/solution.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/spec.hpp"
-#include "electrochem/cell.hpp"
-#include "electrochem/chronoamperometry.hpp"
-#include "electrochem/dpv.hpp"
-#include "electrochem/trace.hpp"
-#include "electrochem/voltammetry.hpp"
+#include "core/transducer.hpp"
 #include "engine/sim_cache.hpp"
-#include "readout/chain.hpp"
 
 namespace biosens::core {
 
-/// One complete measurement: the scalar response plus the raw artifact
-/// behind it (trace or voltammogram) for plotting and diagnostics.
-struct Measurement {
-  double response_a = 0.0;  ///< steady-state current or peak height [A]
-  Technique technique = Technique::kChronoamperometry;
-  electrochem::TimeSeries trace;            ///< chronoamperometry only
-  electrochem::Voltammogram voltammogram;   ///< cyclic voltammetry only
-  electrochem::DpvTrace dpv;                ///< DPV only
-  std::optional<analysis::Peak> peak;       ///< voltammetric techniques
-};
-
-/// Numerical/protocol knobs shared by all measurements of a sensor.
-struct MeasurementOptions {
-  electrochem::Hydrodynamics hydrodynamics{true, 400.0};
-  electrochem::ChronoOptions chrono{};
-  electrochem::VoltammetryOptions voltammetry{};
-  /// Boxcar window of the acquisition chain (readout integration).
-  std::size_t smoothing_window = 5;
-};
-
-/// A runnable sensor: spec + synthesized layer + auto-ranged readout.
+/// A runnable sensor: spec + the transducer built for its technique.
 class BiosensorModel {
  public:
   explicit BiosensorModel(SensorSpec spec, MeasurementOptions options = {});
@@ -56,55 +32,66 @@ class BiosensorModel {
                                     Rng& rng) const;
 
   /// Expected-returning counterpart of measure(): every fallible stage of
-  /// the pipeline (sample-species validation, the electrochemical
-  /// simulation with its chem-layer environment checks, autoranging,
-  /// acquisition, trace reduction) reports through the returned Expected
-  /// with a "measure <sensor>" context frame — no exceptions cross the
-  /// core boundary.
+  /// the pipeline (sample-species validation, the backend simulation,
+  /// autoranging, acquisition, trace reduction) reports through the
+  /// returned Expected with a "measure <sensor>" context frame — no
+  /// exceptions cross the core boundary.
   ///
-  /// When `cache` is non-null the deterministic pre-noise stage (the
-  /// ideal trace / voltammogram / DPV staircase) is memoized under
-  /// simulation_key(); the noisy readout still draws from `rng`, so the
-  /// returned Measurement is byte-identical with the cache on or off.
+  /// When `cache` is non-null the deterministic pre-noise stage is
+  /// memoized under simulation_key(); the noisy readout still draws from
+  /// `rng`, so the returned Measurement is byte-identical with the cache
+  /// on or off.
   [[nodiscard]] Expected<Measurement> try_measure(
       const chem::Sample& sample, Rng& rng,
       engine::SimCache* cache = nullptr) const;
 
   /// Canonical content hash of everything the deterministic simulation
-  /// stage reads: the spec identity and protocol parameters, the
-  /// synthesized layer (which folds in every assembly field that reaches
-  /// the physics), the numerical options, and the sample composition.
-  /// Two sensors/samples collide only if the ideal simulation output is
-  /// identical. Readout-only knobs (smoothing window, noise) are
-  /// deliberately excluded — they act after the cached stage.
+  /// stage reads (spec identity, device physics, numerical options,
+  /// sample composition), domain-separated per transduction family.
+  /// Readout-only knobs (smoothing window, noise) are deliberately
+  /// excluded — they act after the cached stage.
   [[nodiscard]] engine::CacheKey simulation_key(
-      const chem::Sample& sample) const;
+      const chem::Sample& sample) const {
+    return transducer_->simulation_key(sample);
+  }
 
   /// Noiseless response (physics only, no readout) — the deterministic
   /// backbone used by inverse design and fast sweeps.
-  [[nodiscard]] double ideal_response_a(const chem::Sample& sample) const;
+  [[nodiscard]] double ideal_response_a(const chem::Sample& sample) const {
+    return transducer_->ideal_response_a(sample);
+  }
 
-  /// Noise specification the readout applies for this electrode.
-  [[nodiscard]] readout::NoiseSpec noise_spec() const;
+  /// Noise specification the readout applies for this device.
+  [[nodiscard]] readout::NoiseSpec noise_spec() const {
+    return transducer_->noise_spec();
+  }
+
+  /// Wall-clock duration of one measurement (platform scheduling).
+  [[nodiscard]] Time measurement_time() const {
+    return transducer_->measurement_time();
+  }
+
+  /// The sensor's transduction family (survey taxonomy axis).
+  [[nodiscard]] classify::Transduction transduction() const {
+    return transducer_->kind();
+  }
 
   [[nodiscard]] const SensorSpec& spec() const { return spec_; }
-  [[nodiscard]] const electrode::EffectiveLayer& layer() const {
-    return layer_;
-  }
-  [[nodiscard]] const readout::SignalChain& chain() const { return chain_; }
+
+  /// The synthesized electrochemical layer. Only the amperometric
+  /// backend has one; throws SpecError for field-effect sensors (callers
+  /// that must stay transduction-agnostic go through the Transducer).
+  [[nodiscard]] const electrode::EffectiveLayer& layer() const;
+
+  [[nodiscard]] const Transducer& transducer() const { return *transducer_; }
   [[nodiscard]] Area electrode_area() const {
-    return layer_.geometric_area;
+    return transducer_->active_area();
   }
 
  private:
-  [[nodiscard]] electrochem::Cell make_cell(
-      const chem::Sample& sample) const;
-  [[nodiscard]] Current expected_full_scale() const;
-
   SensorSpec spec_;
   MeasurementOptions options_;
-  electrode::EffectiveLayer layer_;
-  readout::SignalChain chain_;
+  std::shared_ptr<const Transducer> transducer_;
 };
 
 }  // namespace biosens::core

@@ -7,6 +7,22 @@ namespace biosens::core {
 void SensorSpec::validate() const { try_validate().value_or_throw(); }
 
 Expected<void> SensorSpec::try_validate() const {
+  if (technique == Technique::kFieldEffectTransfer) {
+    // Field-effect specs carry no enzymatic assembly; the device params
+    // are the whole physical description.
+    BIOSENS_EXPECT(!name.empty(), ErrorCode::kSpec, Layer::kCore, "spec",
+                   "sensor needs a name");
+    BIOSENS_EXPECT(!target.empty(), ErrorCode::kSpec, Layer::kCore, "spec",
+                   "field-effect sensor needs a target: " + name);
+    BIOSENS_EXPECT(fet.has_value(), ErrorCode::kSpec, Layer::kCore, "spec",
+                   "field-effect spec needs device params: " + name);
+    if (auto d = fet->try_validate(); !d) {
+      return ctx("validate spec " + name, std::move(d));
+    }
+    return ok();
+  }
+  BIOSENS_EXPECT(!fet.has_value(), ErrorCode::kSpec, Layer::kCore, "spec",
+                 "only field-effect specs carry device params: " + name);
   if (auto a = assembly.try_validate(); !a) {
     return ctx("validate spec " + name, std::move(a));
   }
@@ -57,6 +73,8 @@ Expected<void> SensorSpec::try_validate() const {
               name);
       break;
     }
+    case Technique::kFieldEffectTransfer:
+      break;  // fully handled by the early return above
   }
   return ok();
 }
@@ -69,6 +87,8 @@ std::string_view to_string(Technique t) {
       return "cyclic voltammetry";
     case Technique::kDifferentialPulseVoltammetry:
       return "differential pulse voltammetry";
+    case Technique::kFieldEffectTransfer:
+      return "field-effect transfer";
   }
   return "unknown";
 }

@@ -9,20 +9,24 @@
 // its protocol parameters, validated for mutual consistency.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/units.hpp"
 #include "electrode/assembly.hpp"
+#include "fet/device.hpp"
 
 namespace biosens::core {
 
-/// Transduction technique (all electrochemical/amperometric, per the
-/// paper's classification of its own device).
+/// Transduction technique. The first three run on the amperometric
+/// (electrochemical) backend, the last on the field-effect one
+/// (docs/transducers.md).
 enum class Technique {
-  kChronoamperometry,           ///< potential step, steady-state current
-  kCyclicVoltammetry,           ///< triangular sweep, peak height
-  kDifferentialPulseVoltammetry ///< staircase + pulses (extension)
+  kChronoamperometry,            ///< potential step, steady-state current
+  kCyclicVoltammetry,            ///< triangular sweep, peak height
+  kDifferentialPulseVoltammetry, ///< staircase + pulses (extension)
+  kFieldEffectTransfer           ///< FET gate sweep + fixed-bias hold
 };
 
 /// A complete sensor specification.
@@ -31,7 +35,14 @@ struct SensorSpec {
   std::string citation;  ///< "this work" or the Table 2 reference tag
   std::string target;    ///< species to quantify (== assembly.substrate)
   Technique technique = Technique::kChronoamperometry;
+  /// The chemical component of the amperometric family; ignored by
+  /// field-effect specs (whose physics lives entirely in `fet`), except
+  /// for the geometry fields the platform scheduler and volume budget
+  /// read (working_area, min_sample_volume).
   electrode::Assembly assembly;
+  /// Device description of a field-effect spec; must be set if and only
+  /// if technique == kFieldEffectTransfer.
+  std::optional<fet::DeviceParams> fet;
 
   // Protocol parameters.
   Potential ca_step_potential = Potential::millivolts(650.0);
@@ -53,9 +64,12 @@ struct SensorSpec {
   /// Expected-returning counterpart of validate().
   [[nodiscard]] Expected<void> try_validate() const;
 
-  /// True when the CYP/voltammetric family is used.
+  /// True when the CYP/voltammetric family is used. Explicit enumeration
+  /// (not "anything but chronoamperometry"): field-effect transfer is
+  /// neither amperometric-steady-state nor voltammetric.
   [[nodiscard]] bool is_voltammetric() const {
-    return technique != Technique::kChronoamperometry;
+    return technique == Technique::kCyclicVoltammetry ||
+           technique == Technique::kDifferentialPulseVoltammetry;
   }
 };
 

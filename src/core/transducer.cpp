@@ -1,0 +1,20 @@
+#include "core/transducer.hpp"
+
+#include "common/error.hpp"
+#include "core/spec.hpp"
+#include "electrochem/transducer.hpp"
+#include "fet/transducer.hpp"
+
+namespace biosens::core {
+
+std::shared_ptr<const Transducer> make_transducer(
+    const SensorSpec& spec, const MeasurementOptions& options) {
+  if (spec.technique == Technique::kFieldEffectTransfer) {
+    require<SpecError>(spec.fet.has_value(),
+                       "field-effect spec needs device params: " + spec.name);
+    return fet::make_transducer(*spec.fet, spec.name, spec.target);
+  }
+  return electrochem::make_amperometric_transducer(spec, options);
+}
+
+}  // namespace biosens::core

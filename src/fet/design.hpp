@@ -1,0 +1,49 @@
+// Inverse design for the field-effect backend.
+//
+// Same philosophy as core/design.cpp for the amperometric family: the
+// catalog never types published figures of merit into the simulator's
+// output. Instead this solver picks the device's physical free
+// parameters — receptor density (which sets the threshold-shift slope),
+// the Langmuir K_d (which sets where the response saturates), and the
+// channel's flicker-noise floor — so that running the full transducer +
+// CalibrationEngine pipeline on the device *measures* the published
+// sensitivity, linear range, and LOD.
+//
+// This lives in src/fet/ (not core) because core links against fet; the
+// solver therefore re-derives the small series/iteration scaffolding it
+// needs instead of calling core::calibrate_to_figures.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "fet/device.hpp"
+
+namespace biosens::fet {
+
+/// Published figures of merit of one FET Table 2 row.
+struct FigureTargets {
+  Sensitivity sensitivity;  ///< canonical A/(mM * m^2) units
+  Concentration range_low;
+  Concentration range_high;
+  Concentration lod;
+};
+
+/// The calibration series the solver sweeps: nine levels spanning
+/// [low, high] plus four beyond-range levels up to 2x the span (mirrors
+/// core::standard_series so detected ranges agree across backends).
+[[nodiscard]] std::vector<Concentration> design_series(Concentration low,
+                                                       Concentration high);
+
+/// Solves `params.receptor_density_per_m2`, `params.k_d`, and
+/// `params.noise.flicker_rms_a` in place so a device measuring `target`
+/// reproduces `figures` through the real measurement pipeline. The noise
+/// floor is fixed empirically: blank holds are measured through the full
+/// FetTransducer path (fixed seed) and the flicker rms rescaled until
+/// the realized blank sigma yields the published LOD. Throws SpecError
+/// when the targets are unreachable for this channel.
+void calibrate_to_figures(DeviceParams& params, std::string_view target,
+                          const FigureTargets& figures);
+
+}  // namespace biosens::fet

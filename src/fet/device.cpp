@@ -1,0 +1,162 @@
+#include "fet/device.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace biosens::fet {
+
+std::string_view to_string(ChannelType type) {
+  switch (type) {
+    case ChannelType::kCntNetwork:
+      return "CNT network";
+    case ChannelType::kGraphene:
+      return "graphene";
+  }
+  return "unknown";
+}
+
+Expected<void> DeviceParams::try_validate() const {
+  BIOSENS_EXPECT(channel_area.square_meters() > 0.0, ErrorCode::kSpec,
+                 Layer::kFet, "fet device",
+                 "channel area must be positive");
+  BIOSENS_EXPECT(receptor_density_per_m2 > 0.0, ErrorCode::kSpec,
+                 Layer::kFet, "fet device",
+                 "receptor density must be positive");
+  BIOSENS_EXPECT(gate_capacitance_f_per_m2 > 0.0, ErrorCode::kSpec,
+                 Layer::kFet, "fet device",
+                 "gate capacitance must be positive");
+  BIOSENS_EXPECT(k_d.milli_molar() > 0.0, ErrorCode::kSpec, Layer::kFet,
+                 "fet device", "Langmuir K_d must be positive");
+  BIOSENS_EXPECT(g_min_s >= 0.0 && g_scale > 0.0, ErrorCode::kSpec,
+                 Layer::kFet, "fet device",
+                 "conductance parameters must be positive");
+  BIOSENS_EXPECT(v_smooth.volts() > 0.0, ErrorCode::kSpec, Layer::kFet,
+                 "fet device", "smoothing width must be positive");
+  BIOSENS_EXPECT(v_ds.volts() != 0.0, ErrorCode::kSpec, Layer::kFet,
+                 "fet device", "drain bias must be nonzero");
+  BIOSENS_EXPECT(sweep.points >= 2, ErrorCode::kSpec, Layer::kFet,
+                 "fet device", "sweep needs at least two points");
+  BIOSENS_EXPECT(sweep.end.volts() > sweep.start.volts(), ErrorCode::kSpec,
+                 Layer::kFet, "fet device",
+                 "sweep window must have end > start");
+  BIOSENS_EXPECT(v_gate_operating.volts() >= sweep.start.volts() &&
+                     v_gate_operating.volts() <= sweep.end.volts(),
+                 ErrorCode::kSpec, Layer::kFet, "fet device",
+                 "operating gate bias must lie inside the sweep window");
+  BIOSENS_EXPECT(hold.seconds() > 0.0 && sample_rate_hz > 0.0,
+                 ErrorCode::kSpec, Layer::kFet, "fet device",
+                 "hold duration and sample rate must be positive");
+  BIOSENS_EXPECT(noise.flicker_rms_a >= 0.0 &&
+                     noise.white_density_a_per_sqrt_hz >= 0.0,
+                 ErrorCode::kSpec, Layer::kFet, "fet device",
+                 "noise parameters must be non-negative");
+  return ok();
+}
+
+double DeviceParams::coverage(Concentration c) const {
+  const double conc = std::max(c.milli_molar(), 0.0);
+  return conc / (conc + k_d.milli_molar());
+}
+
+Potential DeviceParams::characteristic_shift(Concentration c) const {
+  const double s_max_v = constants::kElementaryCharge *
+                         charge_per_binding_e * receptor_density_per_m2 /
+                         gate_capacitance_f_per_m2;
+  return Potential::volts(s_max_v * coverage(c));
+}
+
+double DeviceParams::conductance_s(double gate_v, Concentration c) const {
+  const double v_char =
+      v_characteristic.volts() + characteristic_shift(c).volts();
+  const double w = v_smooth.volts();
+  if (channel == ChannelType::kCntNetwork) {
+    // p-type percolating network: conductance falls off logistically as
+    // the gate passes the network's turn-off midpoint.
+    const double x = (gate_v - v_char) / w;
+    return g_min_s + g_scale / (1.0 + std::exp(x));
+  }
+  // Ambipolar graphene: linear electron/hole branches meeting in a
+  // rounded minimum at the Dirac point (residual-carrier smoothing).
+  const double dv = gate_v - v_char;
+  return g_min_s + g_scale * std::sqrt(dv * dv + w * w);
+}
+
+Current DeviceParams::drain_current(double gate_v, Concentration c) const {
+  return Current::amps(conductance_s(gate_v, c) * v_ds.volts());
+}
+
+Current DeviceParams::operating_current(Concentration c) const {
+  return drain_current(v_gate_operating.volts(), c);
+}
+
+TransferCurve DeviceParams::transfer_curve(Concentration c) const {
+  TransferCurve curve;
+  curve.shift_v = characteristic_shift(c).volts();
+  curve.characteristic_v = v_characteristic.volts() + curve.shift_v;
+  const double lo = sweep.start.volts();
+  const double hi = sweep.end.volts();
+  const std::size_t n = sweep.points;
+  curve.gate_v.reserve(n);
+  curve.drain_current_a.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vg =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(n - 1);
+    curve.gate_v.push_back(vg);
+    curve.drain_current_a.push_back(drain_current(vg, c).amps());
+  }
+  return curve;
+}
+
+DeviceParams cnt_boronic_acid_glucose() {
+  DeviceParams p;
+  p.channel = ChannelType::kCntNetwork;
+  // ~20 um x 20 um percolating network between Pd contacts.
+  p.channel_area = Area::square_meters(4.0e-10);
+  p.gate_capacitance_f_per_m2 = 5.0e-3;   // sparse network under electrolyte
+  p.charge_per_binding_e = 0.1;
+  p.receptor_density_per_m2 = 1.0e18;     // boronic-acid pyrene anchors
+  p.k_d = Concentration::milli_molar(60.0);
+  p.g_min_s = 2.0e-6;
+  p.g_scale = 4.0e-4;                     // ~40 uA on-current at 100 mV
+  p.v_characteristic = Potential::millivolts(0.0);
+  p.v_smooth = Potential::millivolts(250.0);
+  p.v_ds = Potential::millivolts(100.0);
+  p.v_gate_operating = Potential::millivolts(0.0);  // midpoint: odd, linear
+  p.sweep = SweepSpec{Potential::millivolts(-800.0),
+                      Potential::millivolts(800.0), 161};
+  p.hold = Time::seconds(10.0);
+  p.sample_rate_hz = 10.0;
+  p.noise.flicker_rms_a = 8.0e-8;
+  p.noise.white_density_a_per_sqrt_hz = 5.0e-12;
+  return p;
+}
+
+DeviceParams graphene_pba_glucose() {
+  DeviceParams p;
+  p.channel = ChannelType::kGraphene;
+  // ~50 um x 50 um foundry-patterned monolayer channel.
+  p.channel_area = Area::square_meters(2.5e-9);
+  p.gate_capacitance_f_per_m2 = 2.0e-2;   // quantum + double-layer series
+  p.charge_per_binding_e = 0.1;
+  p.receptor_density_per_m2 = 5.0e17;     // pyrene-PBA functionalization
+  p.k_d = Concentration::milli_molar(40.0);
+  p.g_min_s = 1.0e-4;                     // Dirac-point residual conductance
+  p.g_scale = 2.0e-3;                     // branch slope [S/V]
+  p.v_characteristic = Potential::millivolts(250.0);
+  p.v_smooth = Potential::millivolts(60.0);
+  p.v_ds = Potential::millivolts(100.0);
+  // Hole branch, well left of the Dirac point: locally linear.
+  p.v_gate_operating = Potential::millivolts(-150.0);
+  p.sweep = SweepSpec{Potential::millivolts(-600.0),
+                      Potential::millivolts(900.0), 151};
+  p.hold = Time::seconds(10.0);
+  p.sample_rate_hz = 10.0;
+  p.noise.flicker_rms_a = 4.0e-8;
+  p.noise.white_density_a_per_sqrt_hz = 5.0e-12;
+  return p;
+}
+
+}  // namespace biosens::fet

@@ -1,0 +1,123 @@
+// Field-effect (FET) biosensor device model.
+//
+// The second transduction family of the platform (ROADMAP item 2): a
+// liquid-gated transistor whose channel conductance responds to the
+// charge of receptor-bound analyte. The signal chain is
+//
+//   surface binding  ->  gate-charge / threshold shift  ->  I-V readout
+//
+//  - Binding follows a Langmuir isotherm: occupied fraction
+//    theta(C) = C / (C + K_d).
+//  - The bound charge shifts the transfer curve along the gate axis by
+//    dV = e * q_eff * N_r * theta / c_g  (receptor density N_r, effective
+//    charge q_eff per occupied site after Debye screening, electrolyte
+//    gate capacitance c_g).
+//  - The channel converts gate potential to drain current through its
+//    transfer curve: a p-type logistic turn-off for percolating CNT
+//    networks (boronic-acid glucose devices, arXiv:1304.7253) or the
+//    ambipolar V-shape around the Dirac point for graphene
+//    (arXiv:1808.05557).
+//
+// Everything here is deterministic, closed-form physics; the stochastic
+// 1/f + thermal readout noise lives in fet/noise.hpp and is applied by
+// the transducer (fet/transducer.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "common/expected.hpp"
+#include "common/units.hpp"
+#include "fet/noise.hpp"
+#include "fet/trace.hpp"
+
+namespace biosens::fet {
+
+/// Channel chemistry/topology, which fixes the transfer-curve shape.
+enum class ChannelType {
+  kCntNetwork,  ///< percolating p-type CNT network: logistic turn-off
+  kGraphene,    ///< ambipolar graphene: V-shape around the Dirac point
+};
+
+[[nodiscard]] std::string_view to_string(ChannelType type);
+
+/// Gate-sweep protocol of the transfer-curve readout.
+struct SweepSpec {
+  Potential start = Potential::millivolts(-600.0);
+  Potential end = Potential::millivolts(600.0);
+  std::size_t points = 201;
+};
+
+/// Complete physical description of one FET biosensor device.
+struct DeviceParams {
+  ChannelType channel = ChannelType::kCntNetwork;
+  /// Geometric channel (sensing) area — the platform's "electrode area".
+  Area channel_area = Area::square_meters(4.0e-10);
+
+  // -- Binding / electrostatics (the chemical component) ---------------
+  /// Surface receptor density [1/m^2] (boronic acid, PBA, ...).
+  double receptor_density_per_m2 = 5.0e17;
+  /// Effective elementary charges transduced per occupied receptor
+  /// (Debye screening folded in).
+  double charge_per_binding_e = 0.1;
+  /// Electrolyte-gate (double-layer) capacitance per area [F/m^2].
+  double gate_capacitance_f_per_m2 = 1.0e-2;
+  /// Langmuir dissociation constant of the receptor-analyte pair.
+  Concentration k_d = Concentration::milli_molar(50.0);
+
+  // -- Transfer curve (the electrical component) -----------------------
+  /// Channel conductance floor [S] (off-state / minimum conductance).
+  double g_min_s = 1.0e-6;
+  /// CNT: on-off conductance span [S]. Graphene: |dg/dV_g| of the
+  /// linear branches [S/V].
+  double g_scale = 4.0e-4;
+  /// Blank-device characteristic potential: logistic midpoint (CNT) or
+  /// Dirac point (graphene), vs the reference electrode.
+  Potential v_characteristic = Potential::millivolts(0.0);
+  /// Transfer-curve smoothing width: logistic steepness (CNT) or the
+  /// residual-carrier rounding of the Dirac minimum (graphene).
+  Potential v_smooth = Potential::millivolts(250.0);
+  /// Drain-source bias of the readout.
+  Potential v_ds = Potential::millivolts(100.0);
+  /// Fixed operating gate bias of the hold readout.
+  Potential v_gate_operating = Potential::millivolts(0.0);
+  SweepSpec sweep;
+
+  // -- Hold protocol ---------------------------------------------------
+  Time hold = Time::seconds(10.0);
+  double sample_rate_hz = 10.0;
+
+  // -- Readout noise ---------------------------------------------------
+  NoiseParams noise;
+
+  /// Structured kSpec/kFet errors for non-physical parameters.
+  [[nodiscard]] Expected<void> try_validate() const;
+
+  /// Langmuir occupied fraction theta(C) in [0, 1).
+  [[nodiscard]] double coverage(Concentration c) const;
+
+  /// Binding-induced shift of the characteristic potential [V]:
+  /// e * q_eff * N_r * theta / c_g. Positive shifts move the curve
+  /// toward positive gate potentials.
+  [[nodiscard]] Potential characteristic_shift(Concentration c) const;
+
+  /// Channel conductance at a gate potential and analyte level [S].
+  [[nodiscard]] double conductance_s(double gate_v, Concentration c) const;
+
+  /// Drain current I_d = g(V_g) * V_ds at a gate potential [A].
+  [[nodiscard]] Current drain_current(double gate_v, Concentration c) const;
+
+  /// Drain current at the operating gate bias — the device's ideal
+  /// (noiseless) scalar response.
+  [[nodiscard]] Current operating_current(Concentration c) const;
+
+  /// Full ideal transfer curve at an analyte level.
+  [[nodiscard]] TransferCurve transfer_curve(Concentration c) const;
+};
+
+/// The two reference devices of the catalog's FET section.
+/// Boronic-acid-functionalized CNT-network glucose FET (arXiv:1304.7253).
+[[nodiscard]] DeviceParams cnt_boronic_acid_glucose();
+/// PBA-functionalized graphene Dirac-point glucose FET (arXiv:1808.05557).
+[[nodiscard]] DeviceParams graphene_pba_glucose();
+
+}  // namespace biosens::fet

@@ -1,0 +1,31 @@
+// Transfer-curve artifact of a field-effect measurement.
+//
+// A FET biosensor is read out by sweeping the (electrolyte) gate and
+// recording the drain current — the I_d(V_g) transfer curve — then
+// holding the gate at a fixed operating bias and streaming the drain
+// current over time. The sweep is the diagnostic artifact (it shows the
+// threshold / Dirac-point shift that carries the binding signal); the
+// hold is what the calibration pipeline reduces to a scalar response.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace biosens::fet {
+
+/// One sampled I_d(V_g) transfer curve at a fixed analyte concentration.
+struct TransferCurve {
+  std::vector<double> gate_v;          ///< swept gate potential [V]
+  std::vector<double> drain_current_a; ///< drain current [A]
+  /// Characteristic potential of the curve after the binding-induced
+  /// shift: the logistic midpoint (CNT network) or the Dirac point
+  /// (graphene), on the same scale as gate_v.
+  double characteristic_v = 0.0;
+  /// Shift of the characteristic potential relative to the blank [V].
+  double shift_v = 0.0;
+
+  [[nodiscard]] std::size_t size() const { return gate_v.size(); }
+  [[nodiscard]] bool empty() const { return gate_v.empty(); }
+};
+
+}  // namespace biosens::fet

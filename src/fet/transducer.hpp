@@ -1,0 +1,63 @@
+// Field-effect implementation of the core Transducer seam.
+//
+// One measurement is the physical protocol of a liquid-gated FET
+// biosensor: sweep the electrolyte gate to record the ideal transfer
+// curve (the diagnostic artifact carrying the binding-induced shift),
+// then hold the gate at the operating bias and stream the drain current
+// through the same TIA/ADC/boxcar acquisition chain the amperometric
+// backend uses. The 1/f + thermal channel noise (fet/noise.hpp) is
+// injected at the drain before the chain; the scalar response is the
+// tail mean of the hold, exactly like chronoamperometry.
+//
+// Caching: only the deterministic transfer curve is memoized, under a
+// "fet/v1"-domain-tagged key, so FET entries can never collide with
+// amperometric keys in a shared engine::SimCache.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/transducer.hpp"
+#include "fet/device.hpp"
+
+namespace biosens::fet {
+
+/// Boxcar window of the FET acquisition chain (matches the amperometric
+/// default; fet/design.cpp must measure blanks through the same window).
+inline constexpr std::size_t kSmoothingWindow = 5;
+
+class FetTransducer final : public core::Transducer {
+ public:
+  /// `target` is the analyte species the device binds (the only sample
+  /// component the physics reads). Throws SpecError on invalid params.
+  FetTransducer(DeviceParams params, std::string name, std::string target);
+
+  [[nodiscard]] classify::Transduction kind() const override {
+    return classify::Transduction::kFieldEffect;
+  }
+  [[nodiscard]] Expected<core::Measurement> try_transduce(
+      const chem::Sample& sample, Rng& rng,
+      engine::SimCache* cache) const override;
+  [[nodiscard]] double ideal_response_a(
+      const chem::Sample& sample) const override;
+  [[nodiscard]] engine::CacheKey simulation_key(
+      const chem::Sample& sample) const override;
+  [[nodiscard]] readout::NoiseSpec noise_spec() const override;
+  [[nodiscard]] Time measurement_time() const override;
+  [[nodiscard]] Area active_area() const override {
+    return params_.channel_area;
+  }
+
+  [[nodiscard]] const DeviceParams& device() const { return params_; }
+
+ private:
+  DeviceParams params_;
+  std::string name_;
+  std::string target_;
+};
+
+/// Factory used by core::make_transducer().
+[[nodiscard]] std::shared_ptr<const core::Transducer> make_transducer(
+    DeviceParams params, std::string name, std::string target);
+
+}  // namespace biosens::fet

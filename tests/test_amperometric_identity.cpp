@@ -1,0 +1,219 @@
+// Byte-identity regression for the transducer refactor: every existing
+// amperometric sensor must produce bit-exact the same doubles as the
+// pre-refactor, monolithic BiosensorModel did. The golden hex literals
+// below were captured from the tree immediately BEFORE core/sensor was
+// split into the Transducer seam (same compiler, same flags); any drift
+// here means the refactor changed simulation arithmetic or RNG stream
+// consumption, which is a bug — the seam must be behavior-preserving.
+//
+// Coverage: direct measurements (cache off / cold cache / warm cache),
+// the platform panel batch at 0, 1 and 8 workers, and the serial assay
+// with and without a SimCache.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "chem/solution.hpp"
+#include "core/catalog.hpp"
+#include "core/platform.hpp"
+#include "engine/engine.hpp"
+#include "engine/sim_cache.hpp"
+
+namespace biosens::core {
+namespace {
+
+[[nodiscard]] std::uint64_t bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// --- direct measurements: full_catalog() row i, Rng(1234 + i), sample =
+// calibration_sample(target, midpoint of the published linear range).
+// One hex per sensor: cache-off, cache-miss and cache-hit all agreed
+// pre-refactor and must keep agreeing.
+struct DirectGolden {
+  std::string_view name;
+  std::uint64_t response_bits;
+};
+constexpr DirectGolden kDirectGolden[] = {
+    {"CNT mat + GOD", 0x3e9a1ddb5d3361c6},
+    {"MWCNT/Nafion + GOD", 0x3e987da5474cc5a4},
+    {"MWCNT + GOD", 0x3eddfba450acc0b7},
+    {"MWCNT-BA + GOD", 0x3ec319da1bbfcf20},
+    {"MWCNT/Nafion + GOD", 0x3e7463d0c611d8d2},
+    {"MWCNT/mineral oil + LOD", 0x3e6f3682843a72f5},
+    {"Titanate NT + LOD", 0x3e822de73b5a6b82},
+    {"MWCNT + sol-gel/LOD", 0x3e85160c5bd8eeca},
+    {"N-doped CNT/Nafion + LOD", 0x3ea21f84d5924337},
+    {"MWCNT/Nafion + LOD", 0x3e628b2cac4bf1ff},
+    {"Nafion + GlOD", 0x3e116cde5373a1ac},
+    {"Chit + GlOD", 0x3ea62bf7d58f1317},
+    {"PU/MWCNT + GlOD/PP", 0x3e8edcf14bf6e842},
+    {"MWCNT/Nafion + GlOD", 0x3e25b76831d0b131},
+    {"MWCNT + CYP (arachidonic acid)", 0x3ecbd482acd1d1b2},
+    {"MWCNT + CYP (cyclophosphamide)", 0x3ea7c696b2c85c3c},
+    {"MWCNT + CYP (ifosfamide)", 0x3ec0275c03e361ae},
+    {"MWCNT + CYP (Ftorafur)", 0x3ea55c9d3127fcc4},
+};
+
+TEST(AmperometricIdentity, DirectMeasurementsMatchGoldenAcrossCacheModes) {
+  const auto catalog = full_catalog();
+  ASSERT_EQ(catalog.size(), std::size(kDirectGolden));
+  engine::SimCache cache{engine::SimCacheOptions{}};
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const CatalogEntry& e = catalog[i];
+    ASSERT_EQ(e.spec.name, kDirectGolden[i].name) << i;
+    const BiosensorModel sensor(e.spec);
+    const Concentration mid = Concentration::milli_molar(
+        0.5 * (e.published.range_low.milli_molar() +
+               e.published.range_high.milli_molar()));
+    const chem::Sample s = chem::calibration_sample(e.spec.target, mid);
+    Rng no_cache(1234 + i), cold(1234 + i), warm(1234 + i);
+    const auto m1 = sensor.try_measure(s, no_cache, nullptr);
+    const auto m2 = sensor.try_measure(s, cold, &cache);
+    const auto m3 = sensor.try_measure(s, warm, &cache);
+    ASSERT_TRUE(m1.has_value() && m2.has_value() && m3.has_value())
+        << e.spec.name;
+    EXPECT_EQ(bits(m1.value().response_a), kDirectGolden[i].response_bits)
+        << e.spec.name << " (cache off)";
+    EXPECT_EQ(bits(m2.value().response_a), kDirectGolden[i].response_bits)
+        << e.spec.name << " (cache miss)";
+    EXPECT_EQ(bits(m3.value().response_a), kDirectGolden[i].response_bits)
+        << e.spec.name << " (cache hit)";
+  }
+}
+
+// --- panel batch: paper_platform calibrated with Rng(42), six serum
+// glucose samples at 0.2 + 0.1 k mM, PanelBatchOptions seed 2012. The
+// pre-refactor capture produced the SAME table at 0, 1 and 8 workers
+// (that is the engine determinism contract), so one golden table covers
+// all three runs. Rows are (sample, target) -> response / estimate bits.
+struct BatchGolden {
+  std::string_view target;
+  std::uint64_t response_bits;
+  std::uint64_t estimated_bits;
+};
+constexpr BatchGolden kBatchGolden[6][7] = {
+    {{"glucose", 0x3e793b4ca99e40e5, 0x3fe4c2195f1caa14},
+     {"lactate", 0x3e7092734e701451, 0x3feeae12f03f88df},
+     {"glutamate", 0x3e7090c7f507e58d, 0x403b772fe46247e9},
+     {"arachidonic acid", 0, 0},
+     {"cyclophosphamide", 0x3e8748df813bebf0, 0},
+     {"ifosfamide", 0x3e960b88ee7a60e8, 0},
+     {"ftorafur", 0x3e75c01c4b7e1020, 0}},
+    {{"glucose", 0x3e7d4fb6f77871fd, 0x3fe84335e8cbef4e},
+     {"lactate", 0x3e7091dad5c667fb, 0x3feeacf01fbf1c63},
+     {"glutamate", 0x3e709157d6ab9dcf, 0x403b781f257ba6bc},
+     {"arachidonic acid", 0, 0},
+     {"cyclophosphamide", 0x3e860c27b82a4c60, 0},
+     {"ifosfamide", 0x3e95d1caf6e10a68, 0},
+     {"ftorafur", 0x3e6d8f7334592a00, 0}},
+    {{"glucose", 0x3e809598136dd730, 0x3feb9369470006b1},
+     {"lactate", 0x3e70905849ba808c, 0x3feeaa0ed910f742},
+     {"glutamate", 0x3e708feac42e9899, 0x403b75c015523432},
+     {"arachidonic acid", 0, 0},
+     {"cyclophosphamide", 0x3e860f068ca18cb0, 0},
+     {"ifosfamide", 0x3e96f2ec3bb40e88, 0},
+     {"ftorafur", 0x3e7a505485763ce0, 0}},
+    {{"glucose", 0x3e828042b07eb871, 0x3feede56653a989d},
+     {"lactate", 0x3e7080bbd228ac4e, 0x3fee8c483b776f3c},
+     {"glutamate", 0x3e708ed397ed1c20, 0x403b73efdbc918d0},
+     {"arachidonic acid", 0, 0},
+     {"cyclophosphamide", 0x3e863612acf96fa0, 0},
+     {"ifosfamide", 0x3e9722ac77037b38, 0},
+     {"ftorafur", 0x3e755eb2e283afc0, 0}},
+    {{"glucose", 0x3e844ff6377f4832, 0x3ff0fd7847378ec4},
+     {"lactate", 0x3e70a43f3165a005, 0x3feed0048e72f58f},
+     {"glutamate", 0x3e708fd211fd7ae2, 0x403b7597046a8188},
+     {"arachidonic acid", 0, 0},
+     {"cyclophosphamide", 0x3e8532f1a9a9f0d0, 0},
+     {"ifosfamide", 0x3e972107eec2d1f8, 0},
+     {"ftorafur", 0x3e69d0d43a0d1dc0, 0}},
+    {{"glucose", 0x3e860cdf6179edf3, 0x3ff27ba172479154},
+     {"lactate", 0x3e708360473d8144, 0x3fee915277283023},
+     {"glutamate", 0x3e708f02d68dda89, 0x403b743e6b6e158e},
+     {"arachidonic acid", 0, 0},
+     {"cyclophosphamide", 0x3e8708fc526e21f0, 0},
+     {"ifosfamide", 0x3e95de1a3978f3a0, 0},
+     {"ftorafur", 0x3e74ff60aa61d200, 0}},
+};
+
+TEST(AmperometricIdentity, PanelBatchMatchesGoldenAtZeroOneEightWorkers) {
+  Platform platform = Platform::paper_platform();
+  Rng cal_rng(42);
+  ASSERT_TRUE(platform.try_calibrate_all(cal_rng).has_value());
+  std::vector<chem::Sample> samples;
+  for (int k = 0; k < 6; ++k) {
+    samples.push_back(chem::serum_sample(
+        "glucose", Concentration::milli_molar(0.2 + 0.1 * k)));
+  }
+  for (const std::size_t workers : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{8}}) {
+    engine::EngineOptions opt;
+    opt.workers = workers;
+    opt.sim_cache_capacity = workers == 8 ? 256 : 0;
+    engine::Engine eng(opt);
+    PanelBatchOptions bopt;
+    bopt.seed = 2012;
+    const auto batch = platform.run_panel_batch(samples, eng, bopt);
+    ASSERT_EQ(batch.reports.size(), 6u) << "workers=" << workers;
+    for (std::size_t si = 0; si < batch.reports.size(); ++si) {
+      const auto& results = batch.reports[si].results;
+      ASSERT_EQ(results.size(), 7u) << "workers=" << workers;
+      for (std::size_t ri = 0; ri < results.size(); ++ri) {
+        const BatchGolden& g = kBatchGolden[si][ri];
+        EXPECT_EQ(results[ri].target, g.target);
+        EXPECT_EQ(bits(results[ri].response_a), g.response_bits)
+            << "workers=" << workers << " sample=" << si
+            << " target=" << g.target;
+        EXPECT_EQ(bits(results[ri].estimated.milli_molar()),
+                  g.estimated_bits)
+            << "workers=" << workers << " sample=" << si
+            << " target=" << g.target;
+      }
+    }
+  }
+}
+
+// --- serial assay: serum glucose 0.45 mM, Rng(7); cache on and off must
+// both reproduce the pre-refactor bits.
+constexpr DirectGolden kAssayGolden[] = {
+    {"glucose", 0x3e818f396e60b0c4},
+    {"lactate", 0x3e7085c675672ca9},
+    {"glutamate", 0x3e7097574a13ca5b},
+    {"arachidonic acid", 0},
+    {"cyclophosphamide", 0x3e8724e64db3cca0},
+    {"ifosfamide", 0x3e9645eaf93ff930},
+    {"ftorafur", 0},
+};
+
+TEST(AmperometricIdentity, SerialAssayMatchesGoldenWithAndWithoutCache) {
+  Platform platform = Platform::paper_platform();
+  Rng cal_rng(42);
+  ASSERT_TRUE(platform.try_calibrate_all(cal_rng).has_value());
+  const chem::Sample s =
+      chem::serum_sample("glucose", Concentration::milli_molar(0.45));
+  Rng off(7), on(7);
+  engine::SimCache cache{engine::SimCacheOptions{}};
+  const auto r1 = platform.try_assay(s, off, nullptr);
+  const auto r2 = platform.try_assay(s, on, &cache);
+  ASSERT_TRUE(r1.has_value() && r2.has_value());
+  ASSERT_EQ(r1.value().results.size(), std::size(kAssayGolden));
+  ASSERT_EQ(r2.value().results.size(), std::size(kAssayGolden));
+  for (std::size_t k = 0; k < std::size(kAssayGolden); ++k) {
+    EXPECT_EQ(r1.value().results[k].target, kAssayGolden[k].name);
+    EXPECT_EQ(bits(r1.value().results[k].response_a),
+              kAssayGolden[k].response_bits)
+        << kAssayGolden[k].name << " (cache off)";
+    EXPECT_EQ(bits(r2.value().results[k].response_a),
+              kAssayGolden[k].response_bits)
+        << kAssayGolden[k].name << " (cache on)";
+  }
+}
+
+}  // namespace
+}  // namespace biosens::core

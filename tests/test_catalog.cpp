@@ -164,6 +164,40 @@ TEST(Catalog, CypClaimSubMicromolarToFewMicromolarLods) {
             measured_sens("MWCNT + CYP (cyclophosphamide) this work"));
 }
 
+TEST(Catalog, ExtendedTableFetRowsReproducePublishedFigures) {
+  // The extended Table 2 appends the two field-effect devices to the
+  // paper's own rows, and the SAME CalibrationProtocol that measured
+  // every amperometric row above measures them — no FET-specific
+  // branch anywhere in the protocol (docs/transducers.md).
+  const std::vector<CatalogEntry> extended = extended_catalog();
+  ASSERT_EQ(extended.size(), full_catalog().size() + 2);
+  const CalibrationProtocol protocol;
+  std::size_t fet_rows = 0;
+  for (const CatalogEntry& e : extended) {
+    if (e.spec.technique != Technique::kFieldEffectTransfer) continue;
+    ++fet_rows;
+    const BiosensorModel sensor(e.spec);
+    const auto series = standard_series(e.published.range_low,
+                                        e.published.range_high);
+    std::vector<double> sens, lod;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+      Rng rng(seed);
+      const auto outcome = protocol.run(sensor, series, rng);
+      sens.push_back(
+          outcome.result.sensitivity.micro_amp_per_milli_molar_cm2());
+      lod.push_back(outcome.result.lod.micro_molar());
+    }
+    const double pub_sens =
+        e.published.sensitivity.micro_amp_per_milli_molar_cm2();
+    EXPECT_NEAR(median(sens), pub_sens, 0.25 * pub_sens) << e.spec.name;
+    ASSERT_TRUE(e.published.lod.has_value()) << e.spec.name;
+    const double pub_lod = e.published.lod->micro_molar();
+    EXPECT_GT(median(lod), 0.2 * pub_lod) << e.spec.name;
+    EXPECT_LT(median(lod), 2.5 * pub_lod) << e.spec.name;
+  }
+  EXPECT_EQ(fet_rows, 2u);
+}
+
 TEST(Catalog, PlatformEntriesAreFlaggedAndCited) {
   for (const CatalogEntry& e : platform_entries()) {
     EXPECT_TRUE(e.is_platform) << e.spec.name;

@@ -1,6 +1,8 @@
 // Section 2 taxonomy and the literature-survey database.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+
 #include "classify/survey.hpp"
 #include "classify/taxonomy.hpp"
 
@@ -26,6 +28,68 @@ TEST(Taxonomy, CmosFriendliness) {
   EXPECT_FALSE(is_cmos_friendly(Transduction::kOptical));
   EXPECT_FALSE(is_cmos_friendly(Transduction::kSurfacePlasmon));
   EXPECT_FALSE(is_cmos_friendly(Transduction::kPiezoelectric));
+}
+
+TEST(Taxonomy, ToStringIsExhaustiveOverEveryAxis) {
+  // Guards the switch statements in taxonomy.cpp: every enumerator of
+  // every axis must map to a real label, never the "unknown" fallback.
+  // When an axis gains an enumerator, its kXCount constant must be
+  // bumped and the switch extended, or this test fails.
+  for (std::size_t i = 0; i < kTargetClassCount; ++i) {
+    EXPECT_NE(to_string(static_cast<TargetClass>(i)), "unknown") << i;
+  }
+  for (std::size_t i = 0; i < kSensingElementCount; ++i) {
+    EXPECT_NE(to_string(static_cast<SensingElement>(i)), "unknown") << i;
+  }
+  for (std::size_t i = 0; i < kTransductionCount; ++i) {
+    EXPECT_NE(to_string(static_cast<Transduction>(i)), "unknown") << i;
+  }
+  for (std::size_t i = 0; i < kNanomaterialCount; ++i) {
+    EXPECT_NE(to_string(static_cast<Nanomaterial>(i)), "unknown") << i;
+  }
+  for (std::size_t i = 0; i < kElectrodeTechnologyCount; ++i) {
+    EXPECT_NE(to_string(static_cast<ElectrodeTechnology>(i)), "unknown")
+        << i;
+  }
+  // New labels introduced with the FET backend.
+  EXPECT_EQ(to_string(Nanomaterial::kGraphene), "graphene");
+}
+
+TEST(Taxonomy, CmosFriendlinessCoversEveryTransduction) {
+  // is_cmos_friendly must classify every enumerator deliberately: the
+  // five charge/current readouts integrate with CMOS, the three
+  // optical/mechanical ones do not. Counting both sides proves no
+  // enumerator falls through to the default.
+  std::size_t friendly = 0;
+  for (std::size_t i = 0; i < kTransductionCount; ++i) {
+    if (is_cmos_friendly(static_cast<Transduction>(i))) ++friendly;
+  }
+  EXPECT_EQ(friendly, 5u);
+}
+
+TEST(Survey, FetCatalogDevicesAreSurveyed) {
+  // The two FET catalog entries (core/catalog fet_entries) appear in
+  // the survey with the right axes, so the histograms cover the new
+  // transduction backend.
+  SurveyQuery q;
+  q.transduction = Transduction::kFieldEffect;
+  q.target = TargetClass::kMetabolite;
+  const auto hits = query(q);
+  bool cnt_fet = false, graphene_fet = false;
+  for (const SurveyEntry& e : hits) {
+    if (e.reference == "arXiv:1304.7253") {
+      cnt_fet = true;
+      EXPECT_EQ(e.nanomaterial, Nanomaterial::kCarbonNanotube);
+    }
+    if (e.reference == "arXiv:1808.05557") {
+      graphene_fet = true;
+      EXPECT_EQ(e.nanomaterial, Nanomaterial::kGraphene);
+    }
+  }
+  EXPECT_TRUE(cnt_fet);
+  EXPECT_TRUE(graphene_fet);
+  const auto hist = histogram_by_nanomaterial();
+  EXPECT_GE(hist.at("graphene"), 1u);
 }
 
 TEST(Survey, DatabaseIsPopulated) {

@@ -78,6 +78,10 @@ class SeededViolationTest(unittest.TestCase):
          'auto g(S& s) { return s.try_measure(); }\n'
          'void f(S& s) {\n  s.try_measure();\n}\n',
          "expected-discard", 3),
+        ("src/core/planted_transducer.cpp",
+         'namespace biosens::electrochem {\nclass Cell;\n}\n'
+         'void f(biosens::electrochem::Cell* cell);\n',
+         "transducer-discipline", 2),
     ]
 
     def plant(self, rel_path, content):

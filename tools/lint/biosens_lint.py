@@ -29,6 +29,11 @@ Checks (check-id -> invariant):
                           thread detach) confined to
                           src/service/bounded.hpp — every service
                           queue must carry a capacity
+  transducer-discipline   src/core/ never names the electrochemical
+                          simulators (electrochem::Cell and the
+                          *Sim types) directly — core reaches
+                          signal generation only through the
+                          core::Transducer seam
 
 Output format: file:line: [check-id] message
 
@@ -696,9 +701,37 @@ class ServiceDiscipline(Check):
         return out
 
 
+class TransducerDiscipline(Check):
+    """src/core/ orchestrates measurements through the core::Transducer
+    seam (docs/transducers.md); naming an electrochemical simulator type
+    there re-couples core to one transduction family and breaks the
+    multi-backend contract. The simulator types live behind
+    src/electrochem/transducer.cpp, the amperometric implementation of
+    the seam."""
+
+    check_id = "transducer-discipline"
+    SCOPE_DIRS = ("src/core/",)
+    BANNED_TYPES = {"Cell", "ChronoamperometrySim", "VoltammetrySim",
+                    "DifferentialPulseSim"}
+
+    def run(self, src: SourceFile) -> list:
+        if not in_dirs(src.effective_path, self.SCOPE_DIRS):
+            return []
+        out = []
+        for tok in src.tokens:
+            if tok.kind == IDENT and tok.text in self.BANNED_TYPES:
+                out.append(Finding(
+                    src.path, tok.line, self.check_id,
+                    f"electrochemical simulator type '{tok.text}' named "
+                    "in src/core/ — run signal generation through the "
+                    "core::Transducer seam (docs/transducers.md)"))
+        return out
+
+
 ALL_CHECKS = [ThrowDiscipline(), SpanDiscipline(), SpanTemporary(),
               DeterminismDiscipline(), ExpectedDiscard(), NodiscardDecl(),
-              HotPathDiscipline(), ServiceDiscipline()]
+              HotPathDiscipline(), ServiceDiscipline(),
+              TransducerDiscipline()]
 CHECK_IDS = {c.check_id for c in ALL_CHECKS}
 
 
