@@ -31,13 +31,13 @@ std::vector<Concentration> CalibrationProtocol::linear_series(
 
 ProtocolOutcome CalibrationProtocol::run(
     const BiosensorModel& sensor, std::span<const Concentration> series,
-    Rng& rng) const {
-  return try_run(sensor, series, rng).value_or_throw();
+    Rng& rng, engine::SimCache* cache) const {
+  return try_run(sensor, series, rng, cache).value_or_throw();
 }
 
 Expected<ProtocolOutcome> CalibrationProtocol::try_run(
     const BiosensorModel& sensor, std::span<const Concentration> series,
-    Rng& rng) const {
+    Rng& rng, engine::SimCache* cache) const {
   obs::ObsSpan span(Layer::kCore, "calibration-protocol",
                     sensor.spec().name);
   const std::string frame = "calibration protocol";
@@ -48,7 +48,7 @@ Expected<ProtocolOutcome> CalibrationProtocol::try_run(
   outcome.blank_responses_a.reserve(options_.blank_repeats);
   const chem::Sample blank = chem::blank_sample();
   for (std::size_t i = 0; i < options_.blank_repeats; ++i) {
-    auto m = sensor.try_measure(blank, rng);
+    auto m = sensor.try_measure(blank, rng, cache);
     if (!m) return ctx(frame, Expected<ProtocolOutcome>(m.error()));
     outcome.blank_responses_a.push_back(m.value().response_a);
   }
@@ -60,7 +60,7 @@ Expected<ProtocolOutcome> CalibrationProtocol::try_run(
     for (std::size_t r = 0; r < options_.replicates; ++r) {
       const chem::Sample s =
           chem::calibration_sample(sensor.spec().target, level);
-      auto m = sensor.try_measure(s, rng);
+      auto m = sensor.try_measure(s, rng, cache);
       if (!m) return ctx(frame, Expected<ProtocolOutcome>(m.error()));
       sum += m.value().response_a;
     }

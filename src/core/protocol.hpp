@@ -39,15 +39,18 @@ class CalibrationProtocol {
   /// over try_run().
   [[nodiscard]] ProtocolOutcome run(const BiosensorModel& sensor,
                                     std::span<const Concentration> series,
-                                    Rng& rng) const;
+                                    Rng& rng,
+                                    engine::SimCache* cache = nullptr) const;
 
   /// Expected-returning counterpart of run(): a malformed series, a
   /// measurement failure on any blank or level, or a calibration-fit
   /// rejection comes back as a structured error with a "calibration
-  /// protocol" context frame instead of an exception.
+  /// protocol" context frame instead of an exception. `cache` memoizes
+  /// only deterministic pre-noise stages (the cohort-batching prefill
+  /// seeds it); results are byte-identical with or without one.
   [[nodiscard]] Expected<ProtocolOutcome> try_run(
       const BiosensorModel& sensor, std::span<const Concentration> series,
-      Rng& rng) const;
+      Rng& rng, engine::SimCache* cache = nullptr) const;
 
   /// Convenience: evenly spaced `levels` concentrations from `low` to
   /// `high` (inclusive), the usual successive-addition series.

@@ -57,6 +57,8 @@ class ChronoamperometrySim {
   [[nodiscard]] Time response_time_95() const;
 
   [[nodiscard]] const Cell& cell() const { return cell_; }
+  [[nodiscard]] const PotentialStep& waveform() const { return waveform_; }
+  [[nodiscard]] const ChronoOptions& options() const { return options_; }
 
  private:
   Cell cell_;

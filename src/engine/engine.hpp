@@ -41,6 +41,13 @@ struct EngineOptions {
   /// with the cache on or off — it only skips recomputing deterministic
   /// simulation stages whose inputs hash identically.
   std::size_t sim_cache_capacity = 0;
+  /// Route compatible cohort jobs through the batched SoA stepper
+  /// (engine/cohort.hpp): panel/calibration entry points prefill the
+  /// simulation cache with lockstep-computed traces before fanning jobs
+  /// out. Byte-invisible — per-patient results are bit-identical to the
+  /// per-field path — so it defaults on; disable to benchmark the
+  /// serial reference.
+  bool cohort_batching = true;
   /// Optional tracing session (not owned). When set and not already
   /// active, each run() starts it before the batch and stops it after,
   /// so the session holds the last batch's trace for export. Tracing
@@ -71,6 +78,11 @@ class Engine {
   [[nodiscard]] SimCache* sim_cache() { return sim_cache_.get(); }
   [[nodiscard]] const SimCache* sim_cache() const {
     return sim_cache_.get();
+  }
+
+  /// Whether cohort entry points may prefill via the batched stepper.
+  [[nodiscard]] bool cohort_batching() const {
+    return options_.cohort_batching;
   }
 
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }

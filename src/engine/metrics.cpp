@@ -70,6 +70,10 @@ Table MetricsSnapshot::to_table() const {
   table.add_row({"cache_misses", std::to_string(cache_misses)});
   table.add_row({"cache_evictions", std::to_string(cache_evictions)});
   table.add_row({"cache_hit_rate", format_seconds(cache_hit_rate())});
+  table.add_row({"batch_groups", std::to_string(batch_groups)});
+  table.add_row({"batch_lanes", std::to_string(batch_lanes)});
+  table.add_row(
+      {"batch_factorizations", std::to_string(batch_factorizations)});
   table.add_row({"wall_seconds", format_seconds(wall_seconds)});
   table.add_row({"busy_seconds", format_seconds(busy_seconds)});
   table.add_row(
@@ -108,6 +112,9 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   s.cache_hits = cache_hits.value();
   s.cache_misses = cache_misses.value();
   s.cache_evictions = cache_evictions.value();
+  s.batch_groups = batch_groups.value();
+  s.batch_lanes = batch_lanes.value();
+  s.batch_factorizations = batch_factorizations.value();
   s.wall_seconds = wall_seconds;
   s.busy_seconds =
       static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) /
@@ -132,6 +139,9 @@ void MetricsRegistry::reset() {
   cache_hits.reset();
   cache_misses.reset();
   cache_evictions.reset();
+  batch_groups.reset();
+  batch_lanes.reset();
+  batch_factorizations.reset();
   attempt_latency.reset();
   queue_wait.reset();
   busy_nanos_.store(0, std::memory_order_relaxed);
@@ -173,6 +183,17 @@ std::string prometheus_exposition(const MetricsRegistry& metrics,
   w.gauge("biosens_sim_cache_hit_rate",
           "Fraction of cache lookups served from memory",
           s.cache_hit_rate());
+  // Cohort-batching prefill traffic mirrors the sim-cache counters so
+  // the lockstep fast path is observable in the same scrape.
+  w.counter("biosens_cohort_batch_groups_total",
+            "Lockstep cohort groups run by the batched stepper",
+            s.batch_groups);
+  w.counter("biosens_cohort_batch_lanes_total",
+            "Distinct simulations advanced in lockstep groups",
+            s.batch_lanes);
+  w.counter("biosens_cohort_batch_factorizations_total",
+            "Shared-matrix factorizations paid by batched groups",
+            s.batch_factorizations);
   w.gauge("biosens_batch_wall_seconds", "Batch wall-clock time",
           s.wall_seconds);
   w.gauge("biosens_batch_busy_seconds", "Summed attempt execution time",

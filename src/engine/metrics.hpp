@@ -45,6 +45,11 @@ struct MetricsSnapshot {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
+  // Cohort-batching prefill activity (engine/cohort.hpp): lockstep
+  // groups run, lanes advanced, shared-matrix factorizations paid.
+  std::uint64_t batch_groups = 0;
+  std::uint64_t batch_lanes = 0;
+  std::uint64_t batch_factorizations = 0;
   double wall_seconds = 0.0;        ///< batch wall-clock time
   double busy_seconds = 0.0;        ///< summed attempt execution time
   double backoff_sim_seconds = 0.0; ///< simulated re-measurement backoff
@@ -91,6 +96,10 @@ class MetricsRegistry {
   Counter cache_hits;
   Counter cache_misses;
   Counter cache_evictions;
+  // Cohort-batching prefill traffic (fed by the core entry points).
+  Counter batch_groups;
+  Counter batch_lanes;
+  Counter batch_factorizations;
   LatencyHistogram attempt_latency;
   /// Per-job submit -> worker-start delta (batch_runner records it
   /// unconditionally; tracing merely adds the async trace events).

@@ -369,7 +369,7 @@ TEST(Metrics, SnapshotRendersAsTable) {
   registry.attempt_latency.record(0.010);
   const Table table = registry.snapshot(1.0).to_table();
   EXPECT_EQ(table.columns(), 2u);
-  EXPECT_EQ(table.rows(), 28u);  // 22 base + one row per error code
+  EXPECT_EQ(table.rows(), 31u);  // 25 base + one row per error code
   EXPECT_NE(table.to_markdown().find("jobs_submitted"), std::string::npos);
   EXPECT_NE(table.to_markdown().find("cache_hit_rate"), std::string::npos);
   EXPECT_NE(table.to_markdown().find("failed_spec"), std::string::npos);

@@ -1,0 +1,42 @@
+// biosens-lint-fixture: src/common/fixture_hot_batch_clean.cpp
+// Clean counterpart for the batched SoA kernels: a striped solve_many-
+// style loop over caller-owned interleaved buffers and a lockstep
+// stepper whose scratch lives in the object, not on the hot path.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/annotations.hpp"
+
+namespace biosens {
+
+BIOSENS_HOT void fixture_solve_many_stripe(
+    std::span<const double> rhs, std::span<double> x, std::size_t lanes) {
+  // Allocation-free: the SoA block is indexed in place, lane-major
+  // inner loop over caller memory.
+  for (std::size_t i = 0; i < x.size() / lanes; ++i) {
+    for (std::size_t k = 0; k < lanes; ++k) {
+      x[i * lanes + k] = rhs[i * lanes + k] * 0.5;
+    }
+  }
+}
+
+class FixtureBatchStepper {
+ public:
+  explicit FixtureBatchStepper(std::size_t lanes)
+      : scratch_(lanes, 0.0) {}  // cold: construction may allocate
+
+  template <typename FluxFn>
+  BIOSENS_HOT void step(FluxFn&& flux, std::span<double> out) {
+    // Hot: reuses member scratch, inlined callable, no type erasure.
+    for (std::size_t k = 0; k < scratch_.size(); ++k) {
+      scratch_[k] = flux(k, scratch_[k]);
+      out[k] = scratch_[k];
+    }
+  }
+
+ private:
+  std::vector<double> scratch_;
+};
+
+}  // namespace biosens

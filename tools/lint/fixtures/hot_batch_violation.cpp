@@ -1,0 +1,39 @@
+// biosens-lint-fixture: src/common/fixture_hot_batch.cpp
+// Seeded hot-path-discipline violations in batched-kernel shapes:
+// per-step scratch allocation and a type-erased per-lane callable —
+// exactly the regressions the SoA layer is designed to avoid.
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/annotations.hpp"
+
+namespace biosens {
+
+BIOSENS_HOT void fixture_solve_many_alloc(std::span<const double> rhs,
+                                          std::span<double> x,
+                                          std::size_t lanes) {
+  double* stripe = new double[lanes];  // SEED hot-path-discipline
+  for (std::size_t k = 0; k < lanes; ++k) {
+    stripe[k] = rhs[k];
+    x[k] = stripe[k];
+  }
+  delete[] stripe;
+}
+
+BIOSENS_HOT void fixture_batch_step_type_erased(std::span<double> out) {
+  std::function<double(std::size_t)> flux =  // SEED hot-path-discipline
+      [](std::size_t k) { return static_cast<double>(k); };
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    out[k] = flux(k);
+  }
+}
+
+BIOSENS_HOT double fixture_batch_scratch_heap(std::size_t lanes) {
+  auto scratch = std::make_unique<double[]>(lanes);  // SEED hot-path-discipline
+  scratch[0] = 1.0;
+  return scratch[0];
+}
+
+}  // namespace biosens
