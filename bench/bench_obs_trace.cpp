@@ -16,13 +16,23 @@
 // sum to wall time.
 //
 // Section 3 — enabled-tracing overhead: traced vs untraced serial wall
-// time (best of 3). This is the cost of *running* a session; the <2%
-// disabled-path budget is enforced separately by the perf-smoke gate
-// on bench_sim_kernels' solver step rate, which executes the
-// instrumented transport kernel with no session installed.
+// time. Reps are *interleaved* (untraced then traced, best of 3 each)
+// so both see the same cache/frequency regime — the old back-to-back
+// ordering let the traced block inherit a warm machine and report a
+// negative overhead. The reported percentage clamps at 0 (a negative
+// reading is timer noise, not tracing making work faster). This is the
+// cost of *running* a session; the <2% disabled-path budget is
+// enforced separately by the perf-smoke gate on bench_sim_kernels.
+//
+// Section 4 — flight recorder + sampler. The cohort is re-assayed with
+// a FlightRecorder installed (ring capacity deliberately smaller than
+// the event volume, so overwrite accounting is exercised) and the
+// engine sampler active: byte-identity at 0/1/8 workers again, and the
+// recorder wall overhead vs the plain run (same interleaving + clamp).
 //
 // The JSON printed at the end is the committed BENCH_obs.json baseline
-// future perf PRs cite. BIOSENS_SMOKE=1 shrinks the cohort (CI).
+// future perf PRs cite. BIOSENS_SMOKE=1 (or BIOSENS_BENCH_SMOKE=1)
+// shrinks the cohort (CI).
 #include "bench_util.hpp"
 
 #include <cstdio>
@@ -33,6 +43,7 @@
 #include "core/platform.hpp"
 #include "core/workloads.hpp"
 #include "engine/engine.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 
 namespace {
@@ -94,7 +105,8 @@ std::string fingerprint(const std::vector<core::PanelReport>& reports) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = std::getenv("BIOSENS_SMOKE") != nullptr;
+  const bool smoke = std::getenv("BIOSENS_SMOKE") != nullptr ||
+                     std::getenv("BIOSENS_BENCH_SMOKE") != nullptr;
   biosens::bench::print_banner(
       "Cross-layer tracing — byte-identity, attribution, overhead",
       smoke ? "reduced CI smoke configuration"
@@ -111,30 +123,42 @@ int main(int argc, char** argv) {
   core::PanelBatchOptions options;
   options.seed = 2012;
 
-  // -- untraced reference bytes + wall time (best of 3) --
-  double untraced_s = 1e18;
+  // Warm-up pass: fault the code and calibration tables in before any
+  // timed rep, so rep ordering cannot masquerade as tracing overhead.
   std::string reference;
-  for (int rep = 0; rep < 3; ++rep) {
-    engine::Engine untraced;
-    const engine::Stopwatch watch;
-    const auto run = platform.run_panel_batch(samples, untraced, options);
-    untraced_s = std::min(untraced_s, watch.elapsed_seconds());
-    reference = fingerprint(run.reports);
+  {
+    engine::Engine warmup;
+    reference =
+        fingerprint(platform.run_panel_batch(samples, warmup, options).reports);
   }
 
-  // -- traced runs: byte-identity at 0/1/8 workers --
+  // -- interleaved untraced/traced reps: bytes + wall time (best of 3) --
   bool deterministic = true;
   obs::TraceSession session;  // retains the last serial traced batch
+  double untraced_s = 1e18;
   double traced_s = 1e18;
   for (int rep = 0; rep < 3; ++rep) {
-    engine::Engine traced(engine::EngineOptions{.trace = &session});
-    const engine::Stopwatch watch;
-    const auto run = platform.run_panel_batch(samples, traced, options);
-    traced_s = std::min(traced_s, watch.elapsed_seconds());
-    if (fingerprint(run.reports) != reference) {
-      deterministic = false;
-      std::fprintf(stderr, "BYTE-IDENTITY VIOLATION: traced serial run "
-                           "diverges from the untraced reference\n");
+    {
+      engine::Engine untraced;
+      const engine::Stopwatch watch;
+      const auto run = platform.run_panel_batch(samples, untraced, options);
+      untraced_s = std::min(untraced_s, watch.elapsed_seconds());
+      if (fingerprint(run.reports) != reference) {
+        deterministic = false;
+        std::fprintf(stderr, "NONDETERMINISM: untraced serial reps "
+                             "disagree with each other\n");
+      }
+    }
+    {
+      engine::Engine traced(engine::EngineOptions{.trace = &session});
+      const engine::Stopwatch watch;
+      const auto run = platform.run_panel_batch(samples, traced, options);
+      traced_s = std::min(traced_s, watch.elapsed_seconds());
+      if (fingerprint(run.reports) != reference) {
+        deterministic = false;
+        std::fprintf(stderr, "BYTE-IDENTITY VIOLATION: traced serial run "
+                             "diverges from the untraced reference\n");
+      }
     }
   }
   for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
@@ -147,6 +171,57 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "BYTE-IDENTITY VIOLATION: traced results diverge at "
                    "%zu workers\n",
+                   workers);
+    }
+  }
+
+  // -- flight recorder + sampler on: bytes at 0/1/8 workers + overhead --
+  // The ring is sized below the cohort's event volume on purpose: the
+  // steady-state cost being measured includes the overwrite path, and
+  // the accounting (recorded vs overwritten) lands in the JSON.
+  obs::FlightRecorderOptions recorder_options;
+  recorder_options.ring_capacity_per_thread = 512;
+  obs::FlightRecorder recorder(recorder_options);
+  bool recorder_deterministic = true;
+  double plain_s = 1e18;
+  double recorder_s = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    {
+      engine::Engine plain;
+      const engine::Stopwatch watch;
+      const auto run = platform.run_panel_batch(samples, plain, options);
+      plain_s = std::min(plain_s, watch.elapsed_seconds());
+      benchmark::DoNotOptimize(run.reports.size());
+    }
+    {
+      recorder.install();
+      engine::Engine recorded;
+      const engine::Stopwatch watch;
+      const auto run = platform.run_panel_batch(samples, recorded, options);
+      recorder_s = std::min(recorder_s, watch.elapsed_seconds());
+      recorded.sampler().sample_now();
+      recorder.uninstall();
+      if (fingerprint(run.reports) != reference) {
+        recorder_deterministic = false;
+        std::fprintf(stderr, "BYTE-IDENTITY VIOLATION: recorder-on "
+                             "serial run diverges from the reference\n");
+      }
+    }
+  }
+  // install() re-zeroes the counters, so freeze the serial-rep totals
+  // before the worker runs reuse the recorder.
+  const std::uint64_t recorder_events = recorder.recorded_events();
+  const std::uint64_t recorder_overwritten = recorder.overwritten_events();
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+    recorder.install();
+    engine::Engine recorded(engine::EngineOptions{.workers = workers});
+    const auto run = platform.run_panel_batch(samples, recorded, options);
+    recorder.uninstall();
+    if (fingerprint(run.reports) != reference) {
+      recorder_deterministic = false;
+      std::fprintf(stderr,
+                   "BYTE-IDENTITY VIOLATION: recorder-on results "
+                   "diverge at %zu workers\n",
                    workers);
     }
   }
@@ -176,14 +251,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(session.event_count()),
               static_cast<unsigned long long>(session.dropped_events()));
 
-  // -- enabled-tracing overhead --
-  const double overhead_pct = (traced_s / untraced_s - 1.0) * 100.0;
-  std::printf("\nserial cohort wall (best of 3): untraced %.4f s, "
-              "traced %.4f s (%+.1f%% with a session installed)\n",
+  // -- enabled-tracing + recorder overhead (clamped at 0: a negative
+  // reading is rep-to-rep timer noise, not a speedup) --
+  const double overhead_pct =
+      std::max(0.0, (traced_s / untraced_s - 1.0) * 100.0);
+  const double recorder_overhead_pct =
+      std::max(0.0, (recorder_s / plain_s - 1.0) * 100.0);
+  std::printf("\nserial cohort wall (interleaved, best of 3): untraced "
+              "%.4f s, traced %.4f s (+%.1f%% with a session installed)\n",
               untraced_s, traced_s, overhead_pct);
-  if (!deterministic) return 1;
-  std::printf("byte-identity: traced == untraced at 0, 1 and 8 workers "
-              "(seed %llu)\n",
+  std::printf("flight recorder + sampler: plain %.4f s, recorder-on "
+              "%.4f s (+%.1f%%); %llu events recorded, %llu overwritten "
+              "(ring capacity %zu)\n",
+              plain_s, recorder_s, recorder_overhead_pct,
+              static_cast<unsigned long long>(recorder_events),
+              static_cast<unsigned long long>(recorder_overwritten),
+              recorder.options().ring_capacity_per_thread);
+  if (!deterministic || !recorder_deterministic) return 1;
+  std::printf("byte-identity: traced == untraced == recorder-on at 0, 1 "
+              "and 8 workers (seed %llu)\n",
               static_cast<unsigned long long>(options.seed));
 
   std::string json = "{\n";
@@ -220,6 +306,17 @@ int main(int argc, char** argv) {
     first = false;
   }
   json += "},\n";
+  std::snprintf(buffer, sizeof(buffer),
+                "  \"recorder\": {\"baseline_wall_s\": %.4f, "
+                "\"recorder_wall_s\": %.4f, \"overhead_pct\": %.1f,\n"
+                "    \"events_recorded\": %llu, \"overwritten\": %llu, "
+                "\"ring_capacity\": %zu, \"deterministic\": %s},\n",
+                plain_s, recorder_s, recorder_overhead_pct,
+                static_cast<unsigned long long>(recorder_events),
+                static_cast<unsigned long long>(recorder_overwritten),
+                recorder.options().ring_capacity_per_thread,
+                recorder_deterministic ? "true" : "false");
+  json += buffer;
   json += std::string("  \"deterministic\": ") +
           (deterministic ? "true" : "false") +
           ",\n  \"smoke\": " + (smoke ? "true" : "false") + "\n}\n";

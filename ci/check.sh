@@ -323,6 +323,29 @@ assert any(s[0] == "biosens_layer_span_seconds" for s in hist), \
     "missing per-layer histograms"
 print(f"prometheus: OK ({len(hist)} histogram series)")
 
+# Metadata discipline: every exported family must carry # HELP and
+# # TYPE, and the exposition must identify the producing build.
+helps, types, families = set(), set(), set()
+with open(os.path.join(d, "metrics.prom")) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("# HELP "):
+            helps.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            types.add(line.split()[2])
+        elif line and not line.startswith("#"):
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+                    break
+            families.add(name)
+assert families - helps == set(), f"families without # HELP: {families - helps}"
+assert families - types == set(), f"families without # TYPE: {families - types}"
+assert "biosens_build_info" in families, "missing biosens_build_info gauge"
+print(f"prometheus metadata: OK ({len(families)} families, all with "
+      f"HELP/TYPE, build info present)")
+
 # JSONL: one valid object per line.
 with open(os.path.join(d, "events.jsonl")) as f:
     lines = [json.loads(line) for line in f if line.strip()]
@@ -410,6 +433,63 @@ assert gauges.get("biosens_service_in_flight") == 0.0, gauges
 assert gauges.get("biosens_service_sessions_open", 0) > 0, gauges
 print(f"service exposition: OK ({len(counters)} counter series, "
       f"{sorted(t for t in tenants if t)} tenants, drained clean)")
+PY
+  # Flight-recorder + introspection smoke: the demo's shallow queues
+  # guarantee kOverloaded rejections, whose first occurrence must
+  # auto-dump the recorder (attributed to the rejected tenant) and whose
+  # introspection probes must walk healthy -> degraded
+  # (queue-saturation) -> healthy across the drain (docs/operations.md).
+  ./build-ci/examples/service_demo --quick \
+    --recorder-out="${svc_dir}/recorder.json" \
+    --introspect-out="${svc_dir}/introspect.json"
+  python3 - "${svc_dir}" <<'PY'
+import json, os, sys
+d = sys.argv[1]
+
+LAYERS = {"common", "chem", "transport", "electrode", "electrochem",
+          "readout", "analysis", "classify", "core", "engine", "service",
+          "fet"}
+
+# Auto-dumped flight recorder: latched by the first overload rejection.
+with open(os.path.join(d, "recorder.json")) as f:
+    dump = json.load(f)
+assert dump["reason"] == "overloaded", dump["reason"]
+assert dump["tenant"], "dump has no tenant attribution"
+assert dump["events"], "dump captured no events"
+assert dump["triggers"] >= 1 and dump["recorded"] >= len(dump["events"])
+tail = dump["tenant_tail"]
+assert tail, "no tenant tail in the auto-dump"
+for ev in tail:
+    assert ev["tenant"] == dump["tenant"], \
+        f"tail event attributed to {ev['tenant']!r}, not {dump['tenant']!r}"
+for ev in dump["events"]:
+    assert ev["layer"] in LAYERS, f"unknown layer {ev['layer']!r}"
+    assert ev["phase"] in {"begin", "end", "instant", "async-begin",
+                           "async-end"}, ev["phase"]
+trigger = [e for e in tail if e["name"] == "recorder-trigger"]
+assert trigger and trigger[-1]["failed"], \
+    "tenant tail is missing the failed trigger marker"
+ts = [e["ts_ns"] for e in dump["events"]]
+assert ts == sorted(ts), "dump events are not in timestamp order"
+print(f"flight recorder: OK (tenant {dump['tenant']!r}, "
+      f"{len(dump['events'])} events, tail {len(tail)}, "
+      f"{dump['triggers']} triggers)")
+
+# Introspection probes: healthy at start, degraded with a
+# queue-saturation reason mid-incident, healthy again after the drain.
+with open(os.path.join(d, "introspect.json")) as f:
+    probes = json.load(f)
+assert len(probes) == 3, f"expected 3 probes, got {len(probes)}"
+states = [p["health"]["state"] for p in probes]
+assert states == ["healthy", "degraded", "healthy"], states
+reasons = {r["code"] for r in probes[1]["health"]["reasons"]}
+assert "queue-saturation" in reasons, reasons
+assert all(p["component"] == "service" for p in probes)
+assert probes[1]["recorder"]["installed"] and \
+    probes[1]["recorder"]["triggered"], probes[1]["recorder"]
+assert probes[1]["rates"]["samples"] >= 1
+print(f"introspection: OK (states {states}, incident reasons "
+      f"{sorted(reasons)})")
 PY
   echo "service smoke: OK"
 }

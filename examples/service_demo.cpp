@@ -18,12 +18,19 @@
 // back as structured ErrorCode::kOverloaded results carrying the tenant
 // and a retry-after hint — which the demo honors instead of crashing.
 //
-// Observability flags (docs/observability.md):
+// Observability flags (docs/observability.md, docs/operations.md):
 //   --trace-out=FILE    Chrome trace-event JSON (service spans + async
 //                       queue-wait intervals; open in Perfetto)
 //   --metrics-out=FILE  Prometheus text exposition: per-class SLO
 //                       histograms, per-tenant counters, layer latency
 //   --events-out=FILE   JSONL event log for post-mortems
+//   --recorder-out=FILE flight-recorder auto-dump target: the first
+//                       kOverloaded rejection dumps the recent-event
+//                       rings (with the rejected tenant's tail) here
+//   --introspect-out=FILE  JSON array of three introspection_report()
+//                       probes: at start (healthy), at the first
+//                       overload (degraded, queue-saturation), and
+//                       after the final drain (healthy again)
 //   --waves=N --samples=N --quick  shrink the workload (CI smoke)
 #include <algorithm>
 #include <cmath>
@@ -40,6 +47,7 @@
 #include "obs/export_chrome.hpp"
 #include "obs/export_jsonl.hpp"
 #include "obs/export_prometheus.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 #include "service/service.hpp"
 
@@ -54,6 +62,8 @@ struct DemoConfig {
   std::string trace_out;
   std::string metrics_out;
   std::string events_out;
+  std::string recorder_out;
+  std::string introspect_out;
 };
 
 DemoConfig parse_args(int argc, char** argv) {
@@ -75,6 +85,10 @@ DemoConfig parse_args(int argc, char** argv) {
       config.metrics_out = v;
     } else if (const char* v = value_of("--events-out=")) {
       config.events_out = v;
+    } else if (const char* v = value_of("--recorder-out=")) {
+      config.recorder_out = v;
+    } else if (const char* v = value_of("--introspect-out=")) {
+      config.introspect_out = v;
     } else if (arg == "--quick") {
       config.quick = true;
     } else {
@@ -82,7 +96,8 @@ DemoConfig parse_args(int argc, char** argv) {
                    "unknown argument: %s\n"
                    "usage: service_demo [--waves=N] [--samples=N] "
                    "[--quick] [--trace-out=FILE] [--metrics-out=FILE] "
-                   "[--events-out=FILE]\n",
+                   "[--events-out=FILE] [--recorder-out=FILE] "
+                   "[--introspect-out=FILE]\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -191,6 +206,15 @@ struct DayOutcome {
   double example_retry_after_s = 0.0;
 };
 
+/// Introspection probes captured during the primary day: one report at
+/// startup (healthy), one at the first overload rejection (degraded,
+/// queue-saturation), one after the final drain resolves the incident
+/// (healthy again). Written as a JSON array for --introspect-out.
+struct IntrospectLog {
+  std::vector<std::string> probes;
+  bool degraded_captured = false;
+};
+
 /// Submits one measurement, honoring backpressure: on kOverloaded the
 /// demo waits for the session to drain its queue (the retry_after hint
 /// tells a remote caller how long to back off; in-process we can wait
@@ -198,7 +222,8 @@ struct DayOutcome {
 /// the measurement stream — is identical however often this loop spins.
 void submit_honoring_backpressure(service::SimulationService& svc,
                                   service::SessionId id,
-                                  DayOutcome& outcome) {
+                                  DayOutcome& outcome,
+                                  IntrospectLog* introspect) {
   for (;;) {
     auto submitted = svc.try_submit_measurement(id);
     if (submitted.has_value()) return;
@@ -212,6 +237,12 @@ void submit_honoring_backpressure(service::SimulationService& svc,
       outcome.example_rejection = error.describe();
       outcome.example_retry_after_s = error.retry_after_s;
     }
+    if (introspect != nullptr && !introspect->degraded_captured) {
+      // Probe the service mid-incident: the rejection we just absorbed
+      // must surface as kDegraded with a queue-saturation reason.
+      introspect->degraded_captured = true;
+      introspect->probes.push_back(svc.introspection_report().to_json());
+    }
     must_ok(svc.try_wait_idle(id), "wait_idle after overload");
   }
 }
@@ -221,7 +252,7 @@ void submit_honoring_backpressure(service::SimulationService& svc,
 /// wave — the restart whose invisibility the demo verifies. The primary
 /// (traced) run also writes the observability artifacts.
 DayOutcome run_day(const DemoConfig& config, bool interrupted,
-                   bool verbose) {
+                   bool verbose, IntrospectLog* introspect) {
   service::ServiceOptions options;
   options.workers = 4;
   options.shards = 4;
@@ -239,12 +270,16 @@ DayOutcome run_day(const DemoConfig& config, bool interrupted,
     session.initial_state = {0.0};  // accumulated physiological drift
     ids[p] = must(svc.try_open_session(std::move(session)), "open_session");
   }
+  if (introspect != nullptr) {
+    // Baseline probe: sessions open, nothing submitted yet -> kHealthy.
+    introspect->probes.push_back(svc.introspection_report().to_json());
+  }
 
   DayOutcome outcome;
   for (std::size_t wave = 0; wave < config.waves; ++wave) {
     for (std::size_t p = 0; p < kPatients; ++p) {
       for (std::size_t s = 0; s < config.samples_per_wave; ++s) {
-        submit_honoring_backpressure(svc, ids[p], outcome);
+        submit_honoring_backpressure(svc, ids[p], outcome, introspect);
         if (s % 8 == 7) {
           must_ok(svc.try_advance_time(ids[p], 300.0), "advance_time");
         }
@@ -286,6 +321,12 @@ DayOutcome run_day(const DemoConfig& config, bool interrupted,
   for (std::size_t p = 0; p < kPatients; ++p) {
     outcome.final_snapshots.push_back(
         must(svc.try_snapshot(ids[p]), "final snapshot").encode());
+  }
+  if (introspect != nullptr) {
+    // Recovery probe: drain() quiesced everything and re-anchored the
+    // health baseline; resume() lifts the drain reason -> kHealthy.
+    svc.resume();
+    introspect->probes.push_back(svc.introspection_report().to_json());
   }
 
   if (verbose) {
@@ -353,9 +394,51 @@ int main(int argc, char** argv) {
   obs::TraceSession session;
   if (tracing) session.start();
 
+  // Flight recorder for the primary day: its first kOverloaded rejection
+  // auto-dumps the recent-event rings (with the rejected tenant's tail)
+  // to --recorder-out. Job-failure triggering stays off — QC rejections
+  // are routine in this workload; the overload is the staged incident.
+  const bool recording =
+      !config.recorder_out.empty() || !config.introspect_out.empty();
+  obs::FlightRecorderOptions recorder_options;
+  recorder_options.auto_dump_path = config.recorder_out;
+  recorder_options.trigger_on_job_failure = false;
+  obs::FlightRecorder recorder(recorder_options);
+  if (recording) recorder.install();
+
+  IntrospectLog introspect;
+  IntrospectLog* probes =
+      config.introspect_out.empty() ? nullptr : &introspect;
+
   // The primary day: interrupted mid-run by a drain + snapshot restart.
-  const DayOutcome primary = run_day(config, /*interrupted=*/true,
-                                     /*verbose=*/true);
+  const DayOutcome primary =
+      run_day(config, /*interrupted=*/true, /*verbose=*/true, probes);
+
+  if (recording) {
+    recorder.uninstall();
+    std::printf(
+        "flight recorder: %llu events recorded, %llu triggers%s%s\n",
+        static_cast<unsigned long long>(recorder.recorded_events()),
+        static_cast<unsigned long long>(recorder.trigger_count()),
+        recorder.triggered() && !config.recorder_out.empty()
+            ? "; auto-dumped to "
+            : "",
+        recorder.triggered() && !config.recorder_out.empty()
+            ? config.recorder_out.c_str()
+            : "");
+  }
+  if (probes != nullptr) {
+    std::string doc = "[\n";
+    for (std::size_t i = 0; i < probes->probes.size(); ++i) {
+      doc += probes->probes[i];
+      if (i + 1 < probes->probes.size()) doc += ",";
+      doc += "\n";
+    }
+    doc += "]\n";
+    Table::write_file(config.introspect_out, doc);
+    std::printf("wrote %zu introspection probes to %s\n",
+                probes->probes.size(), config.introspect_out.c_str());
+  }
 
   if (tracing) {
     session.stop();
@@ -372,9 +455,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The control day: same submissions, never interrupted, no tracing.
+  // The control day: same submissions, never interrupted, no tracing and
+  // no recorder — the byte-compare below doubles as proof that the
+  // observability stack never perturbs the measurement streams.
   const DayOutcome control = run_day(config, /*interrupted=*/false,
-                                     /*verbose=*/false);
+                                     /*verbose=*/false, nullptr);
 
   std::size_t mismatches = 0;
   for (std::size_t p = 0; p < kPatients; ++p) {

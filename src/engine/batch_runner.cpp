@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/expected.hpp"
 #include "engine/engine.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 
 namespace biosens::engine {
@@ -45,6 +46,12 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
   out.name = job.name;
   out.kind = job.kind;
 
+  // Flight-recorder attribution: engine jobs have no tenant, so the
+  // job name fills that slot; the watchdog flags jobs past the soft
+  // deadline (no-ops unless EngineOptions enabled it).
+  const obs::FlightRecorder::ScopedContext recorder_context(job.name,
+                                                            index);
+  const obs::Watchdog::Scoped watchdog_guard(engine.watchdog(), job.name);
   const obs::ObsSpan job_span(Layer::kEngine, "job", job.name);
   const Stopwatch job_watch;
   const Rng job_rng = root.child(index);
@@ -120,6 +127,10 @@ void run_one_job(Engine& engine, const JobSpec& job, std::size_t index,
     metrics.jobs_failed.increment();
     metrics.record_failure(out.error.has_value() ? out.error->code
                                                  : ErrorCode::kQcReject);
+    obs::FlightRecorder::trigger_job_failure(
+        job.name, out.error.has_value()
+                      ? out.error->describe()
+                      : "qc rejection exhausted the retry budget");
   }
 }
 

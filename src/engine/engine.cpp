@@ -28,7 +28,25 @@ class TraceScope {
 
 }  // namespace
 
-Engine::Engine(EngineOptions options) : options_(options) {
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      watchdog_(obs::WatchdogOptions{options.watchdog_soft_deadline_s,
+                                     4096}),
+      sampler_(
+          [this] {
+            obs::MetricsSample sample;
+            sample.submitted = metrics_.jobs_submitted.value();
+            sample.completed = metrics_.jobs_succeeded.value();
+            sample.failed = metrics_.jobs_failed.value();
+            sample.rejected =
+                metrics_
+                    .failures_by_code[static_cast<std::size_t>(
+                        ErrorCode::kOverloaded)]
+                    .value();
+            sample.queue_p99_s = metrics_.queue_wait.quantile(0.99);
+            return sample;
+          },
+          obs::MetricsSamplerOptions{options.sampler_window, 0.0}) {
   require<SpecError>(options_.dwell_scale >= 0.0,
                      "dwell_scale cannot be negative");
   if (options_.workers > 0) {
@@ -45,7 +63,33 @@ Engine::Engine(EngineOptions options) : options_(options) {
 std::vector<JobReport> Engine::run(const std::vector<JobSpec>& jobs,
                                    const BatchOptions& options) {
   TraceScope scope(options_.trace);
-  return BatchRunner(*this).run(jobs, options);
+  std::vector<JobReport> reports = BatchRunner(*this).run(jobs, options);
+  // One time-series point per batch: enough for cross-batch rates
+  // without any background thread.
+  sampler_.sample_now();
+  return reports;
+}
+
+obs::IntrospectionReport Engine::introspection_report() {
+  sampler_.sample_now();
+  obs::IntrospectionReport report;
+  report.component = "engine";
+  const MetricsSnapshot s = snapshot();
+  report.in_flight = watchdog_.enabled()
+                         ? static_cast<std::uint64_t>(watchdog_.in_flight())
+                         : 0;
+  obs::HealthInputs inputs;
+  inputs.failed = s.jobs_failed;
+  inputs.finished = s.jobs_succeeded + s.jobs_failed;
+  inputs.watchdog_overdue = watchdog_.overdue().size();
+  inputs.watchdog_trips = watchdog_.trips();
+  report.health = obs::evaluate_health(inputs, options_.health);
+  report.rates = sampler_.rates();
+  report.watchdog_soft_deadline_s = watchdog_.soft_deadline_s();
+  report.watchdog_overdue = inputs.watchdog_overdue;
+  report.watchdog_trips = inputs.watchdog_trips;
+  obs::fill_recorder_stats(report);
+  return report;
 }
 
 MetricsSnapshot Engine::snapshot() const {

@@ -17,6 +17,7 @@
 #include "engine/metrics.hpp"
 #include "engine/sim_cache.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/health.hpp"
 
 namespace biosens::obs {
 class TraceSession;
@@ -54,6 +55,14 @@ struct EngineOptions {
   /// never touches job Rng streams — results stay byte-identical with
   /// tracing on or off (docs/observability.md).
   obs::TraceSession* trace = nullptr;
+  /// Soft deadline per job for the engine watchdog; 0 disables it (the
+  /// default — batch runs are finite, residents opt in). Observation
+  /// only: an overdue job is reported, never cancelled.
+  double watchdog_soft_deadline_s = 0.0;
+  /// Thresholds introspection_report() applies (docs/operations.md).
+  obs::HealthPolicy health;
+  /// Sliding window of the engine's metrics sampler (samples kept).
+  std::size_t sampler_window = 64;
 };
 
 class Engine {
@@ -88,6 +97,18 @@ class Engine {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// The per-job soft-deadline watchdog (disabled unless
+  /// EngineOptions::watchdog_soft_deadline_s > 0).
+  [[nodiscard]] obs::Watchdog& watchdog() { return watchdog_; }
+
+  /// The engine's sliding metrics window (one sample per run()).
+  [[nodiscard]] obs::MetricsSampler& sampler() { return sampler_; }
+
+  /// Live health + rates + watchdog/recorder state, machine-readable
+  /// (obs/health.hpp; schema in docs/operations.md). Takes a fresh
+  /// metrics sample so the reported rates end "now".
+  [[nodiscard]] obs::IntrospectionReport introspection_report();
+
   /// Metrics frozen over the wall-clock window since construction or
   /// the last reset_metrics().
   [[nodiscard]] MetricsSnapshot snapshot() const;
@@ -106,6 +127,8 @@ class Engine {
   MetricsRegistry metrics_;
   std::unique_ptr<SimCache> sim_cache_;
   Stopwatch window_;
+  obs::Watchdog watchdog_;
+  obs::MetricsSampler sampler_;
 };
 
 }  // namespace biosens::engine

@@ -153,6 +153,7 @@ std::string prometheus_exposition(const MetricsRegistry& metrics,
                                   const obs::TraceSession* trace) {
   const MetricsSnapshot s = metrics.snapshot(wall_seconds);
   obs::PrometheusWriter w;
+  obs::append_build_info(w);
   w.counter("biosens_jobs_submitted_total", "Jobs submitted to the engine",
             s.jobs_submitted);
   w.counter("biosens_jobs_succeeded_total", "Jobs that produced a result",

@@ -104,6 +104,32 @@ void PrometheusWriter::histogram(std::string_view family,
          std::to_string(histogram.count()));
 }
 
+void append_build_info(PrometheusWriter& writer) {
+  std::string labels = "version=\"";
+#if defined(BIOSENS_VERSION_STRING)
+  labels += BIOSENS_VERSION_STRING;
+#else
+  labels += "dev";
+#endif
+  labels += "\",compiler=\"";
+#if defined(__clang_major__)
+  labels += "clang-" + std::to_string(__clang_major__) + "." +
+            std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  labels += "gcc-" + std::to_string(__GNUC__) + "." +
+            std::to_string(__GNUC_MINOR__);
+#else
+  labels += "unknown";
+#endif
+  labels += "\",cxx_std=\"";
+  labels += std::to_string(__cplusplus / 100L % 100L + 2000L);
+  labels += "\"";
+  writer.gauge("biosens_build_info",
+               "Build identity (value is always 1; identity is in the "
+               "labels)",
+               1.0, labels);
+}
+
 void append_layer_metrics(PrometheusWriter& writer,
                           const TraceSession& session) {
   for (std::size_t i = 0; i < kLayerCount; ++i) {

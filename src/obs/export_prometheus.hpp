@@ -51,4 +51,10 @@ class PrometheusWriter {
 void append_layer_metrics(PrometheusWriter& writer,
                           const TraceSession& session);
 
+/// The conventional `biosens_build_info` gauge (value 1, identity in
+/// the labels: compiler and C++ standard), so every scrape can be
+/// joined against what produced it. Emitted by every exposition the
+/// library composes (engine batches and the service alike).
+void append_build_info(PrometheusWriter& writer);
+
 }  // namespace biosens::obs

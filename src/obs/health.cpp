@@ -1,0 +1,293 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_util.hpp"
+#include "obs/recorder.hpp"
+
+namespace biosens::obs {
+namespace {
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// The one place health reasons are minted (recorder-discipline lint):
+/// records the reason and raises the report's state monotonically.
+void add_reason(HealthReport& report, HealthState severity,
+                std::string_view code, std::string detail) {
+  HealthReason reason;
+  reason.severity = severity;
+  reason.code = std::string(code);
+  reason.detail = std::move(detail);
+  report.reasons.push_back(std::move(reason));
+  if (static_cast<int>(severity) > static_cast<int>(report.state)) {
+    report.state = severity;
+  }
+}
+
+void append_rates_json(std::string& out, const WindowRates& rates) {
+  out += "{\"window_s\":";
+  out += format_double(rates.window_s);
+  out += ",\"samples\":";
+  out += std::to_string(rates.samples);
+  out += ",\"submitted_per_s\":";
+  out += format_double(rates.submitted_per_s);
+  out += ",\"completed_per_s\":";
+  out += format_double(rates.completed_per_s);
+  out += ",\"failed_per_s\":";
+  out += format_double(rates.failed_per_s);
+  out += ",\"rejected_per_s\":";
+  out += format_double(rates.rejected_per_s);
+  out += ",\"rejection_ratio\":";
+  out += format_double(rates.rejection_ratio);
+  out += ",\"queue_p99_s\":";
+  out += format_double(rates.queue_p99_now_s);
+  out += ",\"queue_p99_trend_s\":";
+  out += format_double(rates.queue_p99_trend_s);
+  out += "}";
+}
+
+}  // namespace
+
+std::string_view to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kUnhealthy: return "unhealthy";
+  }
+  return "unknown";
+}
+
+bool HealthReport::has_reason(std::string_view code) const {
+  for (const HealthReason& reason : reasons) {
+    if (reason.code == code) return true;
+  }
+  return false;
+}
+
+std::string HealthReport::to_json() const {
+  std::string out;
+  out += "{\"state\":\"";
+  out += to_string(state);
+  out += "\",\"reasons\":[";
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"severity\":\"";
+    out += to_string(reasons[i].severity);
+    out += "\",\"code\":\"";
+    out += json_escape(reasons[i].code);
+    out += "\",\"detail\":\"";
+    out += json_escape(reasons[i].detail);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+HealthReport evaluate_health(const HealthInputs& inputs,
+                             const HealthPolicy& policy) {
+  HealthReport report;
+
+  if (inputs.draining) {
+    add_reason(report, HealthState::kDegraded, "drain",
+               "drain in progress: admission closed");
+  }
+
+  // Queue saturation: either the queue is visibly near capacity right
+  // now, or admission has rejected work since the last quiesce (the
+  // baseline resets on drain()/resume(), so a past incident does not
+  // poison the state forever).
+  if (inputs.queue_utilization >= policy.queue_degraded_ratio) {
+    add_reason(report, HealthState::kDegraded, "queue-saturation",
+               "queue utilization " +
+                   format_double(inputs.queue_utilization) +
+                   " >= " + format_double(policy.queue_degraded_ratio));
+  } else if (inputs.rejected_since_baseline > 0) {
+    add_reason(report, HealthState::kDegraded, "queue-saturation",
+               std::to_string(inputs.rejected_since_baseline) +
+                   " admission rejections since last quiesce");
+  }
+
+  // SLO burn: the rejected fraction of offered work since the baseline.
+  const std::uint64_t offered =
+      inputs.submitted_since_baseline + inputs.rejected_since_baseline;
+  if (offered > 0 && inputs.rejected_since_baseline > 0) {
+    const double burn =
+        static_cast<double>(inputs.rejected_since_baseline) /
+        static_cast<double>(offered);
+    if (burn >= policy.burn_unhealthy_ratio) {
+      add_reason(report, HealthState::kUnhealthy, "slo-burn",
+                 "rejection burn " + format_double(burn) + " >= " +
+                     format_double(policy.burn_unhealthy_ratio));
+    } else if (burn >= policy.burn_degraded_ratio) {
+      add_reason(report, HealthState::kDegraded, "slo-burn",
+                 "rejection burn " + format_double(burn) + " >= " +
+                     format_double(policy.burn_degraded_ratio));
+    }
+  }
+
+  // Failure burn: jobs that ran and failed (QC exhaustion, numerics).
+  if (inputs.finished > 0 && inputs.failed > 0) {
+    const double burn = static_cast<double>(inputs.failed) /
+                        static_cast<double>(inputs.finished);
+    if (burn >= policy.failure_unhealthy_ratio) {
+      add_reason(report, HealthState::kUnhealthy, "failure-burn",
+                 "failure ratio " + format_double(burn) + " >= " +
+                     format_double(policy.failure_unhealthy_ratio));
+    } else if (burn >= policy.failure_degraded_ratio) {
+      add_reason(report, HealthState::kDegraded, "failure-burn",
+                 "failure ratio " + format_double(burn) + " >= " +
+                     format_double(policy.failure_degraded_ratio));
+    }
+  }
+
+  if (inputs.watchdog_overdue >= policy.watchdog_unhealthy) {
+    add_reason(report, HealthState::kUnhealthy, "watchdog",
+               std::to_string(inputs.watchdog_overdue) +
+                   " items past the soft deadline");
+  } else if (inputs.watchdog_overdue >= policy.watchdog_degraded) {
+    add_reason(report, HealthState::kDegraded, "watchdog",
+               std::to_string(inputs.watchdog_overdue) +
+                   " items past the soft deadline");
+  }
+
+  return report;
+}
+
+Watchdog::Watchdog(Options options) : options_(options) {}
+
+std::uint64_t Watchdog::begin(std::string_view label) {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= options_.max_tracked) return 0;
+  Entry entry;
+  entry.token = next_token_++;
+  entry.label = std::string(label);
+  entry.start = std::chrono::steady_clock::now();
+  entries_.push_back(std::move(entry));
+  return entries_.back().token;
+}
+
+void Watchdog::end(std::uint64_t token) {
+  if (token == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].token != token) continue;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      entries_[i].start)
+            .count();
+    if (elapsed > options_.soft_deadline_s) trips_.increment();
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
+}
+
+std::vector<Watchdog::Overdue> Watchdog::overdue() const {
+  std::vector<Overdue> out;
+  if (!enabled()) return out;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    const double elapsed =
+        std::chrono::duration<double>(now - entry.start).count();
+    if (elapsed > options_.soft_deadline_s) {
+      out.push_back(Overdue{entry.label, elapsed});
+    }
+  }
+  return out;
+}
+
+std::size_t Watchdog::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void fill_recorder_stats(IntrospectionReport& report) {
+  const FlightRecorder* recorder = FlightRecorder::current();
+  if (recorder == nullptr) return;
+  report.recorder_installed = true;
+  report.recorder_triggered = recorder->triggered();
+  report.recorder_events = recorder->recorded_events();
+  report.recorder_overwritten = recorder->overwritten_events();
+  report.recorder_triggers = recorder->trigger_count();
+}
+
+std::string IntrospectionReport::to_json() const {
+  std::string out;
+  out += "{\"component\":\"";
+  out += json_escape(component);
+  out += "\",\"health\":";
+  out += health.to_json();
+  out += ",\"gauges\":{\"pending\":";
+  out += std::to_string(pending);
+  out += ",\"in_flight\":";
+  out += std::to_string(in_flight);
+  out += ",\"open_sessions\":";
+  out += std::to_string(open_sessions);
+  out += ",\"queue_utilization\":";
+  out += format_double(queue_utilization);
+  out += "},\"rates\":";
+  append_rates_json(out, rates);
+  out += ",\"watchdog\":{\"soft_deadline_s\":";
+  out += format_double(watchdog_soft_deadline_s);
+  out += ",\"overdue\":";
+  out += std::to_string(watchdog_overdue);
+  out += ",\"trips\":";
+  out += std::to_string(watchdog_trips);
+  out += "},\"recorder\":{\"installed\":";
+  out += recorder_installed ? "true" : "false";
+  out += ",\"triggered\":";
+  out += recorder_triggered ? "true" : "false";
+  out += ",\"events\":";
+  out += std::to_string(recorder_events);
+  out += ",\"overwritten\":";
+  out += std::to_string(recorder_overwritten);
+  out += ",\"triggers\":";
+  out += std::to_string(recorder_triggers);
+  out += "}}";
+  return out;
+}
+
+std::string IntrospectionReport::to_text() const {
+  std::string out;
+  out += component + " health: ";
+  out += to_string(health.state);
+  out += "\n";
+  for (const HealthReason& reason : health.reasons) {
+    out += "  [";
+    out += to_string(reason.severity);
+    out += "] ";
+    out += reason.code;
+    out += ": ";
+    out += reason.detail;
+    out += "\n";
+  }
+  out += "  pending=" + std::to_string(pending);
+  out += " in_flight=" + std::to_string(in_flight);
+  out += " open_sessions=" + std::to_string(open_sessions);
+  out += " queue_utilization=" + format_double(queue_utilization);
+  out += "\n";
+  out += "  rates: submitted/s=" + format_double(rates.submitted_per_s);
+  out += " completed/s=" + format_double(rates.completed_per_s);
+  out += " rejected/s=" + format_double(rates.rejected_per_s);
+  out += " queue_p99=" + format_double(rates.queue_p99_now_s);
+  out += "s trend=" + format_double(rates.queue_p99_trend_s);
+  out += "s\n";
+  out += "  watchdog: overdue=" + std::to_string(watchdog_overdue);
+  out += " trips=" + std::to_string(watchdog_trips);
+  out += "\n";
+  out += "  recorder: installed=";
+  out += recorder_installed ? "yes" : "no";
+  out += " events=" + std::to_string(recorder_events);
+  out += " overwritten=" + std::to_string(recorder_overwritten);
+  out += " triggers=" + std::to_string(recorder_triggers);
+  out += "\n";
+  return out;
+}
+
+}  // namespace biosens::obs

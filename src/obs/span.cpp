@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/recorder.hpp"
+
 namespace biosens::obs {
 namespace {
 
@@ -75,10 +77,15 @@ void TraceSession::stop() {
 }
 
 std::uint64_t TraceSession::now_ns() const {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+  return ns_since_epoch(std::chrono::steady_clock::now());
+}
+
+std::uint64_t TraceSession::ns_since_epoch(
+    std::chrono::steady_clock::time_point tp) const {
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp - epoch_)
+          .count();
+  return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
 }
 
 TraceSession::ThreadBuffer* TraceSession::buffer_for_this_thread() {
@@ -122,14 +129,26 @@ void TraceSession::record_span(Layer layer, double seconds, bool failed) {
 void TraceSession::instant(Layer layer, std::string_view name,
                            std::string_view detail) {
   TraceSession* session = current();
-  if (session == nullptr) return;
-  SpanEvent event;
-  event.phase = EventPhase::kInstant;
-  event.layer = layer;
-  event.name = std::string(name);
-  event.ts_ns = session->now_ns();
-  event.detail = std::string(detail);
-  session->emit_span_event(std::move(event));
+  FlightRecorder* recorder = FlightRecorder::current();
+  if (session == nullptr && recorder == nullptr) return;
+  if (session != nullptr) {
+    SpanEvent event;
+    event.phase = EventPhase::kInstant;
+    event.layer = layer;
+    event.name = std::string(name);
+    event.ts_ns = session->now_ns();
+    event.detail = std::string(detail);
+    session->emit_span_event(std::move(event));
+  }
+  if (recorder != nullptr) {
+    RecorderEvent event;
+    event.event.phase = EventPhase::kInstant;
+    event.event.layer = layer;
+    event.event.name = std::string(name);
+    event.event.ts_ns = recorder->now_ns();
+    event.event.detail = std::string(detail);
+    recorder->record_event(std::move(event));
+  }
 }
 
 void TraceSession::async_begin(Layer layer, std::string_view name,
@@ -200,47 +219,69 @@ std::uint64_t TraceSession::event_count() const {
 
 ObsSpan::ObsSpan(Layer layer, std::string_view name,
                  std::string_view detail)
-    : session_(TraceSession::current()) {
-  if (session_ == nullptr) return;
+    : session_(TraceSession::current()),
+      recorder_(FlightRecorder::current()) {
+  if (session_ == nullptr && recorder_ == nullptr) return;
   layer_ = layer;
   name_ = std::string(name);
   if (!detail.empty()) {
     name_ += " ";
     name_ += detail;
   }
-  begin_ns_ = session_->now_ns();
-  SpanEvent event;
-  event.phase = EventPhase::kBegin;
-  event.layer = layer_;
-  event.name = name_;
-  event.ts_ns = begin_ns_;
-  session_->emit_span_event(std::move(event));
+  begin_tp_ = std::chrono::steady_clock::now();
+  if (session_ != nullptr) {
+    begin_ns_ = session_->ns_since_epoch(begin_tp_);
+    SpanEvent event;
+    event.phase = EventPhase::kBegin;
+    event.layer = layer_;
+    event.name = name_;
+    event.ts_ns = begin_ns_;
+    session_->emit_span_event(std::move(event));
+  }
 }
 
 ObsSpan::~ObsSpan() {
-  if (session_ == nullptr) return;
-  const std::uint64_t end_ns = session_->now_ns();
-  SpanEvent event;
-  event.phase = EventPhase::kEnd;
-  event.layer = layer_;
-  event.name = std::move(name_);
-  event.ts_ns = end_ns;
-  event.failed = failed_;
-  event.detail = std::move(detail_);
-  session_->emit_span_event(std::move(event));
-  session_->record_span(
-      layer_,
-      static_cast<double>(end_ns - begin_ns_) / kNanosPerSecond, failed_);
+  if (session_ == nullptr && recorder_ == nullptr) return;
+  const auto end_tp = std::chrono::steady_clock::now();
+  // Recorder first: it copies the strings the session event then moves.
+  if (recorder_ != nullptr) {
+    RecorderEvent event;
+    event.event.phase = EventPhase::kEnd;
+    event.event.layer = layer_;
+    event.event.name = name_;
+    event.event.ts_ns = recorder_->ns_since_install(end_tp);
+    event.event.failed = failed_;
+    event.event.detail = detail_;
+    event.dur_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end_tp -
+                                                             begin_tp_)
+            .count());
+    recorder_->record_event(std::move(event));
+  }
+  if (session_ != nullptr) {
+    const std::uint64_t end_ns = session_->ns_since_epoch(end_tp);
+    SpanEvent event;
+    event.phase = EventPhase::kEnd;
+    event.layer = layer_;
+    event.name = std::move(name_);
+    event.ts_ns = end_ns;
+    event.failed = failed_;
+    event.detail = std::move(detail_);
+    session_->emit_span_event(std::move(event));
+    session_->record_span(
+        layer_, static_cast<double>(end_ns - begin_ns_) / kNanosPerSecond,
+        failed_);
+  }
 }
 
 void ObsSpan::fail(const ErrorInfo& error) {
-  if (session_ == nullptr) return;
+  if (!enabled()) return;
   failed_ = true;
   detail_ = error.describe();
 }
 
 void ObsSpan::annotate(std::string_view note) {
-  if (session_ == nullptr) return;
+  if (!enabled()) return;
   if (!detail_.empty()) detail_ += "; ";
   detail_ += note;
 }

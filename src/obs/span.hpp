@@ -5,10 +5,12 @@
 // the library (chem validation, transport stepping, electrochem sweeps,
 // the readout chain, analysis, the engine's job lifecycle) records a
 // begin/end event pair onto the constructing thread's event buffer and
-// feeds the session's per-layer latency histograms. While no session is
-// installed, constructing an ObsSpan costs one relaxed atomic load and
-// allocates nothing — the overhead contract that lets the spans live
-// permanently in the hot measurement pipeline (docs/observability.md).
+// feeds the session's per-layer latency histograms. The same spans also
+// feed the always-on flight recorder (obs/recorder.hpp) when one is
+// installed. While neither consumer is active, constructing an ObsSpan
+// costs two relaxed atomic loads and allocates nothing — the overhead
+// contract that lets the spans live permanently in the hot measurement
+// pipeline (docs/observability.md).
 //
 // Event collection is per-thread: each thread lazily registers one
 // buffer with the session (a mutex is taken only at registration and at
@@ -106,9 +108,12 @@ class TraceSession {
 
   /// Steady-clock nanoseconds since this session's start().
   [[nodiscard]] std::uint64_t now_ns() const;
+  [[nodiscard]] std::uint64_t ns_since_epoch(
+      std::chrono::steady_clock::time_point tp) const;
 
-  /// Point event on the calling thread's track; no-ops when no session
-  /// is installed. Used for sim-cache hits/misses and retry backoffs.
+  /// Point event on the calling thread's track; also lands in the
+  /// flight recorder when one is installed. No-ops when neither is
+  /// active. Used for sim-cache hits/misses and retry backoffs.
   static void instant(Layer layer, std::string_view name,
                       std::string_view detail = {});
 
@@ -174,12 +179,17 @@ class TraceSession {
   std::atomic<std::uint64_t> dropped_{0};
 };
 
+class FlightRecorder;
+
 /// RAII span: begin event at construction, end event at destruction,
-/// duration into the session's per-layer histogram. The ONLY way to
+/// duration into the session's per-layer histogram; when a
+/// FlightRecorder is installed the completed span (one kEnd event with
+/// its duration) also lands in the recorder's ring. The ONLY way to
 /// open a span outside src/obs/.
 ///
-/// Disabled path (no current session): one atomic load, no allocation,
-/// no clock read, and every member call is an immediate return.
+/// Disabled path (no session and no recorder): two relaxed atomic
+/// loads, no allocation, no clock read, and every member call is an
+/// immediate return.
 class ObsSpan {
  public:
   /// `detail` is appended to the span name ("measure" + sensor name);
@@ -204,16 +214,22 @@ class ObsSpan {
   /// sites stay one-liners: `auto run = span.watch(sim.try_run());`.
   template <class E>
   [[nodiscard]] E watch(E e) {
-    if (session_ != nullptr && !e.has_value()) fail(e.error());
+    if (enabled() && !e.has_value()) fail(e.error());
     return e;
   }
 
-  [[nodiscard]] bool enabled() const { return session_ != nullptr; }
+  /// Whether any consumer (trace session or flight recorder) sees this
+  /// span — call sites use it to skip building expensive annotations.
+  [[nodiscard]] bool enabled() const {
+    return session_ != nullptr || recorder_ != nullptr;
+  }
 
  private:
   TraceSession* session_;
+  FlightRecorder* recorder_;
   Layer layer_ = Layer::kCommon;
   std::uint64_t begin_ns_ = 0;
+  std::chrono::steady_clock::time_point begin_tp_{};
   std::string name_;
   std::string detail_;
   bool failed_ = false;

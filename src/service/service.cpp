@@ -10,6 +10,7 @@
 
 #include "engine/thread_pool.hpp"
 #include "obs/export_prometheus.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 #include "service/bounded.hpp"
 
@@ -138,7 +139,26 @@ struct SimulationService::Shard {
 };
 
 SimulationService::SimulationService(ServiceOptions options)
-    : options_(options) {
+    : options_(options),
+      watchdog_(obs::WatchdogOptions{options.watchdog_soft_deadline_s,
+                                     4096}),
+      sampler_(
+          [this] {
+            obs::MetricsSample sample;
+            for (const ClassSlo& slo : slo_) {
+              sample.submitted += slo.submitted.value();
+              sample.completed += slo.completed.value();
+              sample.failed += slo.failed.value();
+              sample.rejected += slo.rejected.value();
+            }
+            sample.queued = pending_total_.load(std::memory_order_relaxed);
+            sample.queue_p99_s =
+                slo_[idx(PriorityClass::kInteractive)].queue_wait.quantile(
+                    0.99);
+            return sample;
+          },
+          obs::MetricsSamplerOptions{options.sampler_window,
+                                     options.sampler_min_period_s}) {
   options_.workers = std::max<std::size_t>(1, options_.workers);
   options_.shards = std::clamp<std::size_t>(options_.shards, 1, 64);
   options_.max_sessions = std::max<std::size_t>(1, options_.max_sessions);
@@ -287,7 +307,14 @@ Expected<std::uint64_t> SimulationService::try_submit_measurement(
                             std::uint64_t backlog) -> Expected<std::uint64_t> {
       tenant.outcomes[cls].rejected += 1;
       slo_[cls].rejected.increment();
+      // Attribute the overload instant to the rejected tenant so the
+      // flight recorder's auto-dump can isolate its tail even before
+      // any of its measurements completed; the trigger latches the
+      // recorder's first-incident dump (obs/recorder.hpp).
+      const obs::FlightRecorder::ScopedContext recorder_context(
+          session.tenant, session.id);
       obs::TraceSession::instant(kLayer, "svc-overloaded", session.tenant);
+      obs::FlightRecorder::trigger_overload(session.tenant, message);
       return overloaded<std::uint64_t>(
           "submit_measurement", std::move(message), session.tenant,
           retry_after_hint(session.priority, backlog));
@@ -453,10 +480,86 @@ void SimulationService::drain() {
   draining_.store(true, std::memory_order_relaxed);
   wait_all_idle();
   pool_->drain();
+  // The incident (if any) is over: re-anchor the health baseline and
+  // close the metrics window on a fresh sample.
+  reset_health_baseline();
+  sampler_.sample_now();
 }
 
 void SimulationService::resume() {
+  reset_health_baseline();
   draining_.store(false, std::memory_order_relaxed);
+}
+
+void SimulationService::reset_health_baseline() {
+  rejected_baseline_.store(total_rejected(), std::memory_order_relaxed);
+  submitted_baseline_.store(total_submitted(), std::memory_order_relaxed);
+}
+
+std::uint64_t SimulationService::total_rejected() const {
+  std::uint64_t total = 0;
+  for (const ClassSlo& slo : slo_) total += slo.rejected.value();
+  return total;
+}
+
+std::uint64_t SimulationService::total_submitted() const {
+  std::uint64_t total = 0;
+  for (const ClassSlo& slo : slo_) total += slo.submitted.value();
+  return total;
+}
+
+double SimulationService::effective_pending_capacity() const {
+  const std::uint64_t open = open_sessions_.load(std::memory_order_relaxed);
+  const std::uint64_t per_session =
+      open * static_cast<std::uint64_t>(options_.max_pending_per_session);
+  const std::uint64_t cap = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(options_.max_pending_total), per_session);
+  return static_cast<double>(cap);
+}
+
+obs::IntrospectionReport SimulationService::introspection_report() {
+  sampler_.sample_now();
+  obs::IntrospectionReport report;
+  report.component = "service";
+  const ServiceStats now = stats();
+  report.pending = now.pending;
+  report.in_flight = now.in_flight;
+  report.open_sessions = now.open_sessions;
+  const double capacity = effective_pending_capacity();
+  report.queue_utilization =
+      capacity > 0.0 ? static_cast<double>(now.pending) / capacity : 0.0;
+
+  obs::HealthInputs inputs;
+  inputs.queue_utilization = report.queue_utilization;
+  inputs.draining = draining();
+  const std::uint64_t rejected = total_rejected();
+  const std::uint64_t rejected_base =
+      rejected_baseline_.load(std::memory_order_relaxed);
+  inputs.rejected_since_baseline =
+      rejected > rejected_base ? rejected - rejected_base : 0;
+  const std::uint64_t submitted = total_submitted();
+  const std::uint64_t submitted_base =
+      submitted_baseline_.load(std::memory_order_relaxed);
+  inputs.submitted_since_baseline =
+      submitted > submitted_base ? submitted - submitted_base : 0;
+  std::uint64_t failed = 0;
+  std::uint64_t completed = 0;
+  for (const ClassSlo& slo : slo_) {
+    failed += slo.failed.value();
+    completed += slo.completed.value();
+  }
+  inputs.failed = failed;
+  inputs.finished = failed + completed;
+  inputs.watchdog_overdue = watchdog_.overdue().size();
+  inputs.watchdog_trips = watchdog_.trips();
+
+  report.health = obs::evaluate_health(inputs, options_.health);
+  report.rates = sampler_.rates();
+  report.watchdog_soft_deadline_s = watchdog_.soft_deadline_s();
+  report.watchdog_overdue = inputs.watchdog_overdue;
+  report.watchdog_trips = inputs.watchdog_trips;
+  obs::fill_recorder_stats(report);
+  return report;
 }
 
 void SimulationService::wait_all_idle() {
@@ -599,6 +702,14 @@ void SimulationService::execute(Shard& shard, Session* session,
   ClassSlo& slo = slo_[idx(session->priority)];
   slo.queue_wait.record(seconds_since(request.submitted));
 
+  // Everything recorded while the body runs — the measurement span and
+  // every nested layer span — is attributed to this tenant/session in
+  // the flight recorder; the watchdog flags bodies that blow past the
+  // soft deadline (observation only).
+  const obs::FlightRecorder::ScopedContext recorder_context(
+      session->tenant, session->id);
+  const obs::Watchdog::Scoped watchdog_guard(watchdog_, session->tenant);
+
   obs::Stopwatch exec_watch;
   Expected<double> result = 0.0;
   {
@@ -624,6 +735,10 @@ void SimulationService::execute(Shard& shard, Session* session,
     }
   }
   slo.exec.record(exec_watch.elapsed_seconds());
+  if (!result.has_value()) {
+    obs::FlightRecorder::trigger_job_failure(session->tenant,
+                                             result.error().describe());
+  }
 
   MeasurementRecord record;
   record.index = request.index;
@@ -671,12 +786,16 @@ void SimulationService::execute(Shard& shard, Session* session,
   }
   pending_total_.fetch_sub(1, std::memory_order_relaxed);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  // Passive time-series feed: between periods this is two relaxed
+  // loads (obs/sampler.hpp), so it can sit on the completion path.
+  sampler_.maybe_sample();
   pump();
 }
 
 std::string SimulationService::prometheus_text(
     const obs::TraceSession* trace) const {
   obs::PrometheusWriter writer;
+  obs::append_build_info(writer);
   static constexpr std::string_view kOutcomes[] = {"submitted", "completed",
                                                    "failed", "rejected"};
   for (std::size_t cls = 0; cls < kPriorityClassCount; ++cls) {

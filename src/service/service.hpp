@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/expected.hpp"
+#include "obs/health.hpp"
 #include "obs/instruments.hpp"
 #include "service/session.hpp"
 
@@ -70,6 +71,15 @@ struct ServiceOptions {
   std::size_t pool_queue_capacity = 0;
   /// retry_after_s floor, and the hint when no latency data exists yet.
   double default_retry_after_s = 0.005;
+  /// Soft deadline per executing measurement for the watchdog
+  /// (introspection only — nothing is cancelled); 0 disables it.
+  double watchdog_soft_deadline_s = 30.0;
+  /// Thresholds introspection_report() applies (docs/operations.md).
+  obs::HealthPolicy health;
+  /// Metrics sampler: sliding-window size and the per-measurement
+  /// rate-limit of the passive sampling hook.
+  std::size_t sampler_window = 64;
+  double sampler_min_period_s = 0.25;
 };
 
 /// SLO instruments for one priority class. Lock-free; read at any time.
@@ -160,6 +170,22 @@ class SimulationService {
   [[nodiscard]] std::string prometheus_text(
       const obs::TraceSession* trace = nullptr) const;
 
+  /// healthz/readyz-style report: kHealthy/kDegraded/kUnhealthy with
+  /// machine-readable reasons (queue saturation since the last quiesce,
+  /// SLO burn, drain in progress, watchdog trips), windowed rates from
+  /// the sampler, and flight-recorder state. drain()/resume() reset the
+  /// rejection baseline, so a resolved incident returns to kHealthy.
+  /// Takes a fresh metrics sample so rates end "now"
+  /// (docs/operations.md has the JSON schema).
+  [[nodiscard]] obs::IntrospectionReport introspection_report();
+
+  /// The per-measurement soft-deadline watchdog.
+  [[nodiscard]] const obs::Watchdog& watchdog() const { return watchdog_; }
+
+  /// The service's sliding metrics window (fed passively by completed
+  /// measurements, and explicitly by drain() and introspection).
+  [[nodiscard]] obs::MetricsSampler& sampler() { return sampler_; }
+
  private:
   struct Request;
   struct TenantState;
@@ -181,6 +207,14 @@ class SimulationService {
   [[nodiscard]] double retry_after_hint(PriorityClass cls,
                                         std::uint64_t backlog) const;
 
+  [[nodiscard]] std::uint64_t total_rejected() const;
+  [[nodiscard]] std::uint64_t total_submitted() const;
+  /// Pending capacity the utilization gauge divides by: the service
+  /// budget, or the summed per-session budgets when those bind first.
+  [[nodiscard]] double effective_pending_capacity() const;
+  /// Re-anchors the "since last quiesce" health counters to now.
+  void reset_health_baseline();
+
   ServiceOptions options_;
   std::array<ClassSlo, kPriorityClassCount> slo_{};
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -193,6 +227,13 @@ class SimulationService {
   std::atomic<std::uint64_t> pending_total_{0};
   std::atomic<std::uint64_t> open_sessions_{0};
   std::atomic<bool> draining_{false};
+  obs::Watchdog watchdog_;
+  obs::MetricsSampler sampler_;
+  /// Rejection/submission totals at the last drain()/resume(): health
+  /// reports rejections *since* the last quiesce, so a handled incident
+  /// does not keep the service degraded forever.
+  std::atomic<std::uint64_t> rejected_baseline_{0};
+  std::atomic<std::uint64_t> submitted_baseline_{0};
 };
 
 }  // namespace biosens::service

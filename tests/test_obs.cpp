@@ -1,10 +1,15 @@
 // Observability subsystem: span/session mechanics, histogram edge
-// contract, exporter structure, and the central non-perturbation
-// guarantee — tracing must never change batch results.
+// contract, exporter structure, flight recorder, sampler, health model,
+// watchdog, and the central non-perturbation guarantee — observing must
+// never change batch results.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/platform.hpp"
@@ -12,7 +17,10 @@
 #include "obs/export_chrome.hpp"
 #include "obs/export_jsonl.hpp"
 #include "obs/export_prometheus.hpp"
+#include "obs/health.hpp"
 #include "obs/instruments.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sampler.hpp"
 #include "obs/span.hpp"
 
 namespace biosens::obs {
@@ -253,6 +261,445 @@ TEST(ExporterTest, HelpAndTypeEmittedOncePerFamily) {
             text.rfind("# HELP biosens_failures_total"));
   EXPECT_NE(text.find("biosens_failures_total{code=\"numerics\"} 2"),
             std::string::npos);
+}
+
+TEST(ExporterTest, BuildInfoGaugeCarriesVersionAndCompiler) {
+  PrometheusWriter writer;
+  append_build_info(writer);
+  const std::string text = writer.text();
+  EXPECT_NE(text.find("# HELP biosens_build_info"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE biosens_build_info gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("biosens_build_info{version="), std::string::npos);
+  EXPECT_NE(text.find("compiler="), std::string::npos);
+  EXPECT_NE(text.find("cxx_std="), std::string::npos);
+  EXPECT_NE(text.find("} 1"), std::string::npos);
+}
+
+// -- per-thread buffer cap under contention (8 writers) ---------------
+
+TEST(TraceSessionStress, EightThreadsHitTheirBufferCapsExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 500;
+  constexpr std::size_t kCap = 64;
+
+  TraceSessionOptions options;
+  options.max_events_per_thread = kCap;
+  TraceSession session(options);
+  session.start();
+  {
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      writers.emplace_back([t] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          TraceSession::instant(Layer::kEngine,
+                                "stress-" + std::to_string(t));
+        }
+      });
+    }
+    for (std::thread& w : writers) w.join();
+  }
+  session.stop();
+
+  // The cap is per thread and exact: each writer stores kCap events and
+  // drops the rest, with nothing lost or double-counted across threads.
+  EXPECT_EQ(session.event_count(), kThreads * kCap);
+  EXPECT_EQ(session.dropped_events(), kThreads * (kPerThread - kCap));
+
+  // A session saturated at its cap must still export cleanly: one JSONL
+  // line per surviving event, and a parsable Chrome trace envelope.
+  const std::string jsonl = jsonl_events(session);
+  std::size_t lines = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, session.event_count());
+  const std::string chrome = chrome_trace_json(session);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(chrome.back(), '\n');
+}
+
+// -- flight recorder --------------------------------------------------
+
+TEST(FlightRecorderTest, NoOpWithoutAnInstalledRecorder) {
+  ASSERT_EQ(FlightRecorder::current(), nullptr);
+  { ObsSpan span(Layer::kChem, "orphan"); }
+  FlightRecorder::trigger_overload("tenant", "nothing listening");
+  FlightRecorder::trigger_job_failure("job", "nothing listening");
+  // No recorder, no crash — and nothing to observe.
+}
+
+TEST(FlightRecorderTest, RecordsSpanEndsAndInstantsWithDurations) {
+  FlightRecorder recorder;
+  recorder.install();
+  {
+    ObsSpan span(Layer::kTransport, "crank-step");
+  }
+  TraceSession::instant(Layer::kEngine, "cache-hit", "warm");
+  recorder.uninstall();
+
+  EXPECT_EQ(recorder.recorded_events(), 2u);
+  const RecorderDump dump = recorder.dump();
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[0].event.name, "crank-step");
+  EXPECT_EQ(dump.events[0].event.phase, EventPhase::kEnd);
+  EXPECT_EQ(dump.events[1].event.name, "cache-hit");
+  EXPECT_EQ(dump.events[1].event.phase, EventPhase::kInstant);
+  EXPECT_EQ(dump.events[1].dur_ns, 0u);
+  EXPECT_EQ(dump.reason, "manual");
+  const std::string json = dump.to_json();
+  EXPECT_NE(json.find("\"name\":\"crank-step\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\":\"instant\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestWithExactAccounting) {
+  FlightRecorderOptions options;
+  options.ring_capacity_per_thread = 8;
+  FlightRecorder recorder(options);
+  recorder.install();
+  for (int i = 0; i < 20; ++i) {
+    TraceSession::instant(Layer::kCore, "tick-" + std::to_string(i));
+  }
+  recorder.uninstall();
+
+  EXPECT_EQ(recorder.recorded_events(), 20u);
+  EXPECT_EQ(recorder.overwritten_events(), 12u);
+  const RecorderDump dump = recorder.dump();
+  ASSERT_EQ(dump.events.size(), 8u);
+  // The survivors are exactly the newest eight, still in time order.
+  EXPECT_EQ(dump.events.front().event.name, "tick-12");
+  EXPECT_EQ(dump.events.back().event.name, "tick-19");
+  for (std::size_t i = 1; i < dump.events.size(); ++i) {
+    EXPECT_GE(dump.events[i].event.ts_ns, dump.events[i - 1].event.ts_ns);
+  }
+}
+
+TEST(FlightRecorderTest, ScopedContextAttributesAndNests) {
+  FlightRecorder recorder;
+  recorder.install();
+  {
+    FlightRecorder::ScopedContext outer("tenant-a", 7);
+    TraceSession::instant(Layer::kService, "outer-event");
+    {
+      FlightRecorder::ScopedContext inner("tenant-b", 9);
+      TraceSession::instant(Layer::kService, "inner-event");
+    }
+    TraceSession::instant(Layer::kService, "outer-again");
+  }
+  TraceSession::instant(Layer::kService, "unattributed");
+  recorder.uninstall();
+
+  const RecorderDump dump = recorder.dump("manual", "tenant-a");
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_EQ(dump.events[0].tenant, "tenant-a");
+  EXPECT_EQ(dump.events[0].session_id, 7u);
+  EXPECT_EQ(dump.events[1].tenant, "tenant-b");
+  EXPECT_EQ(dump.events[1].session_id, 9u);
+  EXPECT_EQ(dump.events[2].tenant, "tenant-a");
+  EXPECT_EQ(dump.events[3].tenant, "");
+  // The tenant tail keeps only tenant-a's events.
+  ASSERT_EQ(dump.tenant_tail.size(), 2u);
+  EXPECT_EQ(dump.tenant_tail[0].event.name, "outer-event");
+  EXPECT_EQ(dump.tenant_tail[1].event.name, "outer-again");
+}
+
+TEST(FlightRecorderTest, FirstTriggerLatchesAndAutoDumps) {
+  const std::string path = "/tmp/biosens_test_recorder_dump.json";
+  std::remove(path.c_str());
+  FlightRecorderOptions options;
+  options.auto_dump_path = path;
+  FlightRecorder recorder(options);
+  recorder.install();
+  {
+    FlightRecorder::ScopedContext tenant("clinic-x", 3);
+    TraceSession::instant(Layer::kService, "pre-incident");
+    FlightRecorder::trigger_overload("clinic-x", "queue full");
+  }
+  FlightRecorder::trigger_overload("clinic-y", "second incident");
+  recorder.uninstall();
+
+  EXPECT_TRUE(recorder.triggered());
+  EXPECT_EQ(recorder.trigger_count(), 2u);
+  // The first trigger wins: the latched dump names clinic-x.
+  const RecorderDump first = recorder.first_trigger_dump();
+  EXPECT_EQ(first.reason, "overloaded");
+  EXPECT_EQ(first.tenant, "clinic-x");
+  EXPECT_FALSE(first.tenant_tail.empty());
+  for (const RecorderEvent& ev : first.tenant_tail) {
+    EXPECT_EQ(ev.tenant, "clinic-x");
+  }
+  // And it was written to disk.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"reason\":\"overloaded\""),
+            std::string::npos);
+  EXPECT_NE(buffer.str().find("\"tenant\":\"clinic-x\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DisabledTriggerKindsOnlyCount) {
+  FlightRecorderOptions options;
+  options.trigger_on_job_failure = false;
+  FlightRecorder recorder(options);
+  recorder.install();
+  FlightRecorder::trigger_job_failure("job-1", "transient fault");
+  // A disabled trigger kind is a complete no-op: no latch, no count.
+  EXPECT_FALSE(recorder.triggered());
+  EXPECT_EQ(recorder.trigger_count(), 0u);
+  FlightRecorder::trigger_overload("tenant-z", "queue full");
+  EXPECT_TRUE(recorder.triggered());
+  EXPECT_EQ(recorder.trigger_count(), 1u);
+  EXPECT_EQ(recorder.first_trigger_dump().reason, "overloaded");
+  recorder.uninstall();
+}
+
+TEST(FlightRecorderTest, EngineJobFailureTriggersTheRecorder) {
+  FlightRecorder recorder;
+  recorder.install();
+  engine::Engine engine;  // serial
+  std::vector<engine::JobSpec> jobs(1);
+  jobs[0].name = "doomed";
+  jobs[0].body = [](engine::JobContext&) -> Expected<bool> {
+    return make_error(ErrorCode::kNumerics, Layer::kEngine, "doomed",
+                      "synthetic fault");
+  };
+  engine::BatchOptions options;
+  options.retry.max_attempts = 1;
+  (void)engine.run(jobs, options);
+  recorder.uninstall();
+
+  EXPECT_TRUE(recorder.triggered());
+  const RecorderDump dump = recorder.first_trigger_dump();
+  EXPECT_EQ(dump.reason, "job-failure");
+  EXPECT_EQ(dump.tenant, "doomed");
+  EXPECT_FALSE(dump.tenant_tail.empty());
+}
+
+// -- metrics sampler --------------------------------------------------
+
+TEST(MetricsSamplerTest, RatesComeFromWindowDeltas) {
+  std::uint64_t submitted = 0, rejected = 0;
+  double p99 = 0.001;
+  MetricsSampler sampler([&] {
+    MetricsSample s;
+    s.submitted = submitted;
+    s.completed = submitted;
+    s.rejected = rejected;
+    s.queue_p99_s = p99;
+    return s;
+  });
+  sampler.sample_now();
+  submitted = 8;
+  rejected = 2;
+  p99 = 0.004;
+  sampler.sample_now();
+
+  const WindowRates rates = sampler.rates();
+  EXPECT_EQ(rates.samples, 2u);
+  EXPECT_GT(rates.window_s, 0.0);
+  EXPECT_NEAR(rates.rejection_ratio, 0.2, 1e-12);
+  EXPECT_NEAR(rates.queue_p99_now_s, 0.004, 1e-12);
+  EXPECT_NEAR(rates.queue_p99_trend_s, 0.003, 1e-12);
+  EXPECT_GT(rates.submitted_per_s, 0.0);
+}
+
+TEST(MetricsSamplerTest, WindowEvictsOldestSamples) {
+  std::uint64_t submitted = 0;
+  MetricsSampler sampler(
+      [&] {
+        MetricsSample s;
+        s.submitted = submitted;
+        return s;
+      },
+      MetricsSamplerOptions{2, 0.0});
+  for (submitted = 1; submitted <= 5; ++submitted) sampler.sample_now();
+  // sample_count() is the lifetime total; the ring keeps the newest two.
+  EXPECT_EQ(sampler.sample_count(), 5u);
+  ASSERT_EQ(sampler.window().size(), 2u);
+  EXPECT_EQ(sampler.window().front().submitted, 4u);
+  EXPECT_EQ(sampler.window().back().submitted, 5u);
+}
+
+// -- health model -----------------------------------------------------
+
+TEST(HealthModelTest, QuietInputsAreHealthy) {
+  const HealthReport report = evaluate_health(HealthInputs{});
+  EXPECT_EQ(report.state, HealthState::kHealthy);
+  EXPECT_TRUE(report.reasons.empty());
+  EXPECT_NE(report.to_json().find("\"state\":\"healthy\""),
+            std::string::npos);
+}
+
+TEST(HealthModelTest, DrainAndRejectionsDegrade) {
+  HealthInputs inputs;
+  inputs.draining = true;
+  inputs.rejected_since_baseline = 3;
+  inputs.submitted_since_baseline = 100;
+  const HealthReport report = evaluate_health(inputs);
+  EXPECT_EQ(report.state, HealthState::kDegraded);
+  EXPECT_TRUE(report.has_reason("drain"));
+  EXPECT_TRUE(report.has_reason("queue-saturation"));
+  EXPECT_FALSE(report.has_reason("watchdog"));
+}
+
+TEST(HealthModelTest, QueueUtilizationAloneDegrades) {
+  HealthInputs inputs;
+  inputs.queue_utilization = 0.9;
+  const HealthReport report = evaluate_health(inputs);
+  EXPECT_EQ(report.state, HealthState::kDegraded);
+  EXPECT_TRUE(report.has_reason("queue-saturation"));
+}
+
+TEST(HealthModelTest, HeavyBurnIsUnhealthy) {
+  HealthInputs inputs;
+  inputs.rejected_since_baseline = 60;
+  inputs.submitted_since_baseline = 40;
+  EXPECT_EQ(evaluate_health(inputs).state, HealthState::kUnhealthy);
+
+  HealthInputs failures;
+  failures.failed = 9;
+  failures.finished = 10;
+  const HealthReport report = evaluate_health(failures);
+  EXPECT_EQ(report.state, HealthState::kUnhealthy);
+  EXPECT_TRUE(report.has_reason("failure-burn"));
+}
+
+TEST(HealthModelTest, WatchdogThresholdsEscalate) {
+  HealthInputs inputs;
+  inputs.watchdog_overdue = 1;
+  EXPECT_EQ(evaluate_health(inputs).state, HealthState::kDegraded);
+  inputs.watchdog_overdue = 4;
+  const HealthReport report = evaluate_health(inputs);
+  EXPECT_EQ(report.state, HealthState::kUnhealthy);
+  EXPECT_TRUE(report.has_reason("watchdog"));
+}
+
+// -- watchdog ---------------------------------------------------------
+
+TEST(WatchdogTest, DisabledWatchdogHandsOutNullTokens) {
+  Watchdog watchdog(WatchdogOptions{0.0, 16});
+  EXPECT_FALSE(watchdog.enabled());
+  const std::uint64_t token = watchdog.begin("ignored");
+  EXPECT_EQ(token, 0u);
+  watchdog.end(token);  // no-op, no crash
+  EXPECT_EQ(watchdog.in_flight(), 0u);
+  EXPECT_TRUE(watchdog.overdue().empty());
+}
+
+TEST(WatchdogTest, OverdueWorkIsListedAndTripsOnCompletion) {
+  Watchdog watchdog(WatchdogOptions{1e-9, 16});
+  const std::uint64_t token = watchdog.begin("slow-measurement");
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const std::vector<Watchdog::Overdue> overdue = watchdog.overdue();
+  ASSERT_EQ(overdue.size(), 1u);
+  EXPECT_EQ(overdue[0].label, "slow-measurement");
+  EXPECT_GT(overdue[0].elapsed_s, 0.0);
+  EXPECT_EQ(watchdog.in_flight(), 1u);
+  watchdog.end(token);
+  EXPECT_EQ(watchdog.trips(), 1u);
+  EXPECT_EQ(watchdog.in_flight(), 0u);
+  {
+    Watchdog::Scoped guard(watchdog, "scoped-measurement");
+    EXPECT_EQ(watchdog.in_flight(), 1u);
+  }
+  EXPECT_EQ(watchdog.in_flight(), 0u);
+}
+
+// -- introspection ----------------------------------------------------
+
+TEST(IntrospectionTest, EngineReportReflectsFailureBurn) {
+  engine::Engine engine;
+  std::vector<engine::JobSpec> jobs(1);
+  jobs[0].name = "doomed";
+  jobs[0].body = [](engine::JobContext&) -> Expected<bool> {
+    return make_error(ErrorCode::kNumerics, Layer::kEngine, "doomed",
+                      "synthetic fault");
+  };
+  engine::BatchOptions options;
+  options.retry.max_attempts = 1;
+  (void)engine.run(jobs, options);
+
+  IntrospectionReport report = engine.introspection_report();
+  EXPECT_EQ(report.component, "engine");
+  EXPECT_EQ(report.health.state, HealthState::kUnhealthy);
+  EXPECT_TRUE(report.health.has_reason("failure-burn"));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"component\":\"engine\""), std::string::npos);
+  EXPECT_NE(json.find("\"failure-burn\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorder\""), std::string::npos);
+  EXPECT_NE(report.to_text().find("unhealthy"), std::string::npos);
+}
+
+TEST(IntrospectionTest, RecorderStatsSurfaceWhenInstalled) {
+  IntrospectionReport cold;
+  fill_recorder_stats(cold);
+  EXPECT_FALSE(cold.recorder_installed);
+
+  FlightRecorder recorder;
+  recorder.install();
+  TraceSession::instant(Layer::kCore, "blip");
+  IntrospectionReport warm;
+  fill_recorder_stats(warm);
+  recorder.uninstall();
+  EXPECT_TRUE(warm.recorder_installed);
+  EXPECT_EQ(warm.recorder_events, 1u);
+  EXPECT_FALSE(warm.recorder_triggered);
+}
+
+// -- non-perturbation: recorder edition -------------------------------
+
+TEST(FlightRecorderTest, RecorderDoesNotPerturbEngineResults) {
+  core::MeasurementOptions poc;
+  poc.chrono.duration = Time::seconds(2.0);
+  poc.chrono.dt = Time::milliseconds(100.0);
+  poc.chrono.grid_nodes = 24;
+  poc.voltammetry.points_per_sweep = 40;
+  core::Platform platform;
+  platform.add_sensor(core::entry_or_throw("MWCNT/Nafion + GOD (this work)"),
+                      poc);
+  Rng rng(77);
+  core::ProtocolOptions protocol;
+  protocol.blank_repeats = 4;
+  protocol.replicates = 1;
+  platform.calibrate_all(rng, protocol);
+
+  std::vector<chem::Sample> cohort;
+  for (int i = 0; i < 4; ++i) {
+    chem::Sample s = chem::blank_sample();
+    s.set("glucose", Concentration::milli_molar(0.2 + 0.1 * i));
+    cohort.push_back(std::move(s));
+  }
+  core::PanelBatchOptions batch;
+  batch.seed = 99;
+
+  const auto fingerprint = [](const std::vector<core::PanelReport>& rs) {
+    std::string out;
+    char cell[64];
+    for (const core::PanelReport& report : rs) {
+      for (const core::AssayResult& r : report.results) {
+        std::snprintf(cell, sizeof(cell), "%.17g;", r.response_a);
+        out += cell;
+      }
+    }
+    return out;
+  };
+
+  engine::Engine bare;
+  const std::string reference =
+      fingerprint(platform.run_panel_batch(cohort, bare, batch).reports);
+
+  FlightRecorder recorder;
+  recorder.install();
+  engine::Engine observed;
+  const std::string recorded =
+      fingerprint(platform.run_panel_batch(cohort, observed, batch).reports);
+  recorder.uninstall();
+  EXPECT_GT(recorder.recorded_events(), 0u);
+  EXPECT_EQ(recorded, reference);
 }
 
 }  // namespace

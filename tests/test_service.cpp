@@ -13,8 +13,10 @@
 //     nothing aborts, nothing is lost.
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -445,6 +447,92 @@ TEST(ServiceObservability, PrometheusExposesClassAndTenantSeries) {
   const ClassSlo& slo = svc.slo(PriorityClass::kInteractive);
   EXPECT_EQ(slo.submitted.value(),
             slo.completed.value() + slo.failed.value());
+}
+
+TEST(ServiceObservability, IntrospectionTransitionsWithOverload) {
+  ServiceOptions options;
+  options.workers = 1;
+  // A single pending slot makes saturation deterministic: while one
+  // gated measurement occupies it, the next submission must reject.
+  options.max_pending_per_session = 1;
+  SimulationService svc(options);
+
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool closed = false;
+  };
+  auto gate = std::make_shared<Gate>();
+  SessionOptions session;
+  session.tenant = "clinic-a";
+  session.body = [gate](SessionContext&) -> Expected<double> {
+    std::unique_lock<std::mutex> lock(gate->mutex);
+    gate->cv.wait(lock, [&] { return !gate->closed; });
+    return 1.0;
+  };
+  session.initial_state = {0.0};
+  auto id = svc.try_open_session(std::move(session));
+  ASSERT_TRUE(id.has_value());
+
+  // Quiet service: healthy, no reasons, gauges at rest.
+  obs::IntrospectionReport start = svc.introspection_report();
+  EXPECT_EQ(start.component, "service");
+  EXPECT_EQ(start.health.state, obs::HealthState::kHealthy);
+  EXPECT_TRUE(start.health.reasons.empty());
+  EXPECT_EQ(start.open_sessions, 1u);
+  EXPECT_EQ(start.pending, 0u);
+
+  // Establish a healthy submission history so one rejection reads as
+  // degradation, not a total outage.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(svc.try_submit_measurement(id.value()).has_value());
+    ASSERT_TRUE(svc.try_wait_idle(id.value()).has_value());
+  }
+
+  // Close the gate and fill the session up: one gated measurement
+  // executes (a session runs one at a time), one more fills the
+  // single-slot queue, so the third submission at the latest must come
+  // back kOverloaded — deterministically, whatever the worker timing.
+  {
+    std::lock_guard<std::mutex> lock(gate->mutex);
+    gate->closed = true;
+  }
+  bool saw_rejection = false;
+  for (int i = 0; i < 5 && !saw_rejection; ++i) {
+    const auto submitted = svc.try_submit_measurement(id.value());
+    if (!submitted.has_value()) {
+      ASSERT_EQ(submitted.error().code, ErrorCode::kOverloaded);
+      saw_rejection = true;
+    }
+  }
+  {
+    // Reopen the gate before any assertion can unwind into ~SimulationService
+    // — a closed gate would deadlock the drain there.
+    std::lock_guard<std::mutex> lock(gate->mutex);
+    gate->closed = false;
+  }
+  gate->cv.notify_all();
+  ASSERT_TRUE(saw_rejection);
+
+  obs::IntrospectionReport incident = svc.introspection_report();
+  EXPECT_EQ(incident.health.state, obs::HealthState::kDegraded)
+      << incident.to_json();
+  EXPECT_TRUE(incident.health.has_reason("queue-saturation"));
+  const std::string json = incident.to_json();
+  EXPECT_NE(json.find("\"component\":\"service\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue-saturation\""), std::string::npos);
+
+  // Let the backlog finish, then drain: the quiesce re-anchors the
+  // rejection baseline, so the handled incident must not keep the
+  // service degraded.
+  svc.drain();
+  svc.resume();
+  obs::IntrospectionReport recovered = svc.introspection_report();
+  EXPECT_EQ(recovered.health.state, obs::HealthState::kHealthy)
+      << recovered.to_json();
+  EXPECT_TRUE(recovered.health.reasons.empty());
+  ASSERT_TRUE(svc.try_submit_measurement(id.value()).has_value());
+  svc.drain();
 }
 
 }  // namespace

@@ -728,10 +728,43 @@ class TransducerDiscipline(Check):
         return out
 
 
+class RecorderDiscipline(Check):
+    """The flight recorder and health model observe without perturbing,
+    and that only holds while raw emission stays inside src/obs/: other
+    layers attribute via FlightRecorder::ScopedContext, signal incidents
+    via the trigger_* helpers, and describe their state through
+    HealthInputs. Direct event construction (RecorderEvent,
+    record_event) or reason fabrication (add_reason) outside src/obs/
+    bypasses the ring accounting and the policy thresholds
+    (docs/operations.md)."""
+
+    check_id = "recorder-discipline"
+    SCOPE_DIRS = ("src/",)
+    ALLOWED_DIRS = ("src/obs/",)
+    BANNED = {"record_event", "RecorderEvent", "add_reason"}
+
+    def run(self, src: SourceFile) -> list:
+        if not in_dirs(src.effective_path, self.SCOPE_DIRS):
+            return []
+        if in_dirs(src.effective_path, self.ALLOWED_DIRS):
+            return []
+        out = []
+        for tok in src.tokens:
+            if tok.kind == IDENT and tok.text in self.BANNED:
+                out.append(Finding(
+                    src.path, tok.line, self.check_id,
+                    f"recorder/health primitive '{tok.text}' outside "
+                    "src/obs/ — attribute via "
+                    "FlightRecorder::ScopedContext, signal via "
+                    "trigger_overload / trigger_job_failure, and report "
+                    "state through HealthInputs (docs/operations.md)"))
+        return out
+
+
 ALL_CHECKS = [ThrowDiscipline(), SpanDiscipline(), SpanTemporary(),
               DeterminismDiscipline(), ExpectedDiscard(), NodiscardDecl(),
               HotPathDiscipline(), ServiceDiscipline(),
-              TransducerDiscipline()]
+              TransducerDiscipline(), RecorderDiscipline()]
 CHECK_IDS = {c.check_id for c in ALL_CHECKS}
 
 

@@ -1,0 +1,23 @@
+// biosens-lint-fixture: src/obs/fixture_recorder_home.cpp
+// Inside src/obs/ the raw primitives are legal: this is where the ring
+// accounting and the health policy live.
+namespace biosens::obs {
+
+struct RecorderEvent {
+  int payload = 0;
+};
+
+struct FakeRing {
+  void record_event(RecorderEvent&&) {}
+};
+
+template <class Report>
+void add_reason(Report& report, int severity) {
+  report.state = severity;
+}
+
+void fixture_home_layer(FakeRing& ring) {
+  ring.record_event(RecorderEvent{});
+}
+
+}  // namespace biosens::obs

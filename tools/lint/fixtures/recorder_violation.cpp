@@ -1,0 +1,29 @@
+// biosens-lint-fixture: src/engine/fixture_recorder_bypass.cpp
+// Seeded recorder-discipline violations: a layer outside src/obs/
+// fabricating recorder events and health reasons directly instead of
+// going through ScopedContext / trigger_* / HealthInputs.
+namespace biosens::obs {
+struct RecorderEvent;  // SEED recorder-discipline
+class FlightRecorder;
+struct HealthReport;
+}  // namespace biosens::obs
+
+namespace biosens::engine {
+
+void fixture_forge_event(obs::FlightRecorder& recorder) {
+  obs::RecorderEvent* forged = nullptr;  // SEED recorder-discipline
+  (void)forged;
+  (void)recorder;
+}
+
+template <class Recorder, class Event>
+void fixture_raw_emission(Recorder& recorder, Event event) {
+  recorder.record_event(static_cast<Event&&>(event));  // SEED recorder-discipline
+}
+
+template <class Report>
+void fixture_forge_reason(Report& report) {
+  add_reason(report, 1, "queue-saturation", "forged");  // SEED recorder-discipline
+}
+
+}  // namespace biosens::engine
