@@ -24,26 +24,69 @@
 #                         FET patients) with mid-run drain/restore,
 #                         per-tenant and per-priority Prometheus series
 #                         validation
+#  11. graph              biosens-graph whole-program analyzer:
+#                         transitive hot-path/determinism checks, the
+#                         layer-dependency DAG (tools/analyze/
+#                         layers.toml) and span coverage of the public
+#                         try_* entries + fixture self-test; reuses
+#                         stage 1's compile_commands.json and caches
+#                         the extracted per-file graphs in build-ci/
+#
+# A per-stage wall-time summary table is printed at the end of the run.
 #
 #   ci/check.sh            # everything
 #   ci/check.sh <stage>    # one stage: lint|format|tidy|release|tsan|
-#                          #            ubsan|asan|perf|obs|service
+#                          #            ubsan|asan|perf|obs|service|graph
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 STAGE="${1:-all}"
 
+STAGE_NAMES=()
+STAGE_SECS=()
+
+# Runs one stage function under a wall clock; the table at the bottom
+# shows where CI time actually goes.
+run_stage() {
+  local name="$1" start end
+  shift
+  start="$(date +%s)"
+  "$@"
+  end="$(date +%s)"
+  STAGE_NAMES+=("${name}")
+  STAGE_SECS+=("$((end - start))")
+}
+
+print_summary() {
+  [ "${#STAGE_NAMES[@]}" -gt 0 ] || return 0
+  local i total=0
+  echo
+  echo "=== per-stage wall time ==="
+  printf '  %-10s %9s\n' "stage" "seconds"
+  for i in "${!STAGE_NAMES[@]}"; do
+    printf '  %-10s %9s\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+    total=$((total + STAGE_SECS[i]))
+  done
+  printf '  %-10s %9s\n' "total" "${total}"
+}
+
 run_lint() {
-  echo "=== [1/10] biosens-lint: AST-level invariant checks ==="
+  echo "=== [1/11] biosens-lint: AST-level invariant checks ==="
+  # Configure-only pass so build-ci/compile_commands.json exists for
+  # the clang backends here and in stage 11 (CMakeLists exports it).
+  if [ ! -f build-ci/compile_commands.json ]; then
+    cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  fi
   # tools/lint/biosens_lint.py replaces the old grep lints: it lexes
   # real C++ tokens (strings, comments and multi-line statements can
   # no longer fool it) and enforces throw-discipline, span-discipline,
   # span-temporary, determinism-discipline, expected-discard,
-  # nodiscard-decl, hot-path-discipline and service-discipline (every
-  # queue in src/service/ must be bounded). Check ids, rationale and
-  # the allow() suppression syntax: docs/static-analysis.md.
-  python3 tools/lint/biosens_lint.py src
+  # nodiscard-decl, hot-path-discipline, service-discipline (every
+  # queue in src/service/ must be bounded) and stale-suppression
+  # (allow() directives must earn their keep). Check ids, rationale
+  # and the allow() suppression syntax: docs/static-analysis.md.
+  python3 tools/lint/biosens_lint.py --jobs "${JOBS}" src
   # The fixture self-test proves every check-id fires on its seeded
   # violation and stays silent on the matching clean fixture.
   python3 tools/lint/biosens_lint.py --self-test
@@ -51,7 +94,7 @@ run_lint() {
 }
 
 run_format() {
-  echo "=== [2/10] clang-format: check-only formatting gate ==="
+  echo "=== [2/11] clang-format: check-only formatting gate ==="
   if ! command -v clang-format > /dev/null 2>&1; then
     echo "format: clang-format not installed — stage skipped"
     return 0
@@ -63,7 +106,7 @@ run_format() {
 }
 
 run_tidy() {
-  echo "=== [3/10] clang-tidy: bugprone/performance/concurrency baseline ==="
+  echo "=== [3/11] clang-tidy: bugprone/performance/concurrency baseline ==="
   if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "tidy: clang-tidy not installed — stage skipped"
     return 0
@@ -83,7 +126,7 @@ run_tidy() {
 }
 
 run_release() {
-  echo "=== [4/10] Release build (BIOSENS_WERROR=ON) + full test suite ==="
+  echo "=== [4/11] Release build (BIOSENS_WERROR=ON) + full test suite ==="
   # CI promotes the hardened src/ warning set to errors so a new
   # warning cannot land silently; local builds default it off.
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DBIOSENS_WERROR=ON
@@ -92,7 +135,7 @@ run_release() {
 }
 
 run_tsan() {
-  echo "=== [5/10] ThreadSanitizer: engine tests ==="
+  echo "=== [5/11] ThreadSanitizer: engine tests ==="
   cmake -B build-tsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=thread
@@ -104,7 +147,7 @@ run_tsan() {
 }
 
 run_ubsan() {
-  echo "=== [6/10] UndefinedBehaviorSanitizer: error-path tests ==="
+  echo "=== [6/11] UndefinedBehaviorSanitizer: error-path tests ==="
   cmake -B build-ubsan -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBIOSENS_SANITIZE=undefined
@@ -116,7 +159,7 @@ run_ubsan() {
 }
 
 run_asan() {
-  echo "=== [7/10] AddressSanitizer+LeakSanitizer: allocation-bearing tests ==="
+  echo "=== [7/11] AddressSanitizer+LeakSanitizer: allocation-bearing tests ==="
   # The engine's worker pool, the sharded sim-cache LRU and the obs
   # per-thread buffers own the bulk of the dynamic allocations; ASan
   # with leak detection guards use-after-free and unreleased buffers.
@@ -131,7 +174,7 @@ run_asan() {
 }
 
 run_perf() {
-  echo "=== [8/10] Perf smoke: solver step rate + service throughput ==="
+  echo "=== [8/11] Perf smoke: solver step rate + service throughput ==="
   # A reduced-configuration run of the kernel bench (BIOSENS_SMOKE=1
   # shrinks the step/patient counts and skips the google-benchmark
   # timings; the per-step rate it prints is comparable to the full
@@ -264,7 +307,7 @@ run_perf() {
 }
 
 run_obs() {
-  echo "=== [9/10] Observability smoke: traced batch + exporter validation ==="
+  echo "=== [9/11] Observability smoke: traced batch + exporter validation ==="
   # One small traced service run must yield a Chrome trace that loads
   # in Perfetto (valid JSON, balanced begin/end nesting per thread) and
   # a Prometheus exposition with well-formed cumulative histograms.
@@ -356,7 +399,7 @@ PY
 }
 
 run_service() {
-  echo "=== [10/10] Service smoke: streaming sessions under overload ==="
+  echo "=== [10/11] Service smoke: streaming sessions under overload ==="
   cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-ci -j "${JOBS}" --target service_demo test_service
   svc_dir="$(mktemp -d)"
@@ -494,20 +537,59 @@ PY
   echo "service smoke: OK"
 }
 
+run_graph() {
+  echo "=== [11/11] biosens-graph: whole-program transitive checks ==="
+  # tools/analyze/biosens_graph.py builds the project include graph and
+  # a function-level call graph, then enforces the properties a
+  # single-file linter cannot see: hot-path-transitive (BIOSENS_HOT
+  # code must not reach allocation/throwing/locking through any call
+  # chain), determinism-taint (simulation roots must not reach entropy
+  # or clock sources outside common/rng), layer-dag (only the edges
+  # sanctioned in tools/analyze/layers.toml, offending path printed)
+  # and span-coverage (every public try_* facade entry opens an
+  # ObsSpan). Check ids and rationale: docs/static-analysis.md.
+  #
+  # Reuses stage 1's compile_commands.json (any build-ci configure
+  # exports it) and caches the per-file graph extraction so unchanged
+  # files are not re-lexed on the next run.
+  if [ ! -f build-ci/compile_commands.json ]; then
+    cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  fi
+  python3 tools/analyze/biosens_graph.py \
+    --compdb build-ci/compile_commands.json \
+    --graph-cache build-ci/biosens_graph_cache.json \
+    src
+  # The fixture self-test proves every transitive check fires on its
+  # seeded case and stays silent on the negatives.
+  python3 tools/analyze/biosens_graph.py --self-test
+  echo "graph: OK"
+}
+
 case "${STAGE}" in
-  lint)    run_lint ;;
-  format)  run_format ;;
-  tidy)    run_tidy ;;
-  release) run_release ;;
-  tsan)    run_tsan ;;
-  ubsan)   run_ubsan ;;
-  asan)    run_asan ;;
-  perf)    run_perf ;;
-  obs)     run_obs ;;
-  service) run_service ;;
-  all)     run_lint; run_format; run_tidy; run_release; run_tsan
-           run_ubsan; run_asan; run_perf; run_obs; run_service ;;
-  *) echo "usage: ci/check.sh [lint|format|tidy|release|tsan|ubsan|asan|perf|obs|service|all]" >&2
+  lint)    run_stage lint    run_lint ;;
+  format)  run_stage format  run_format ;;
+  tidy)    run_stage tidy    run_tidy ;;
+  release) run_stage release run_release ;;
+  tsan)    run_stage tsan    run_tsan ;;
+  ubsan)   run_stage ubsan   run_ubsan ;;
+  asan)    run_stage asan    run_asan ;;
+  perf)    run_stage perf    run_perf ;;
+  obs)     run_stage obs     run_obs ;;
+  service) run_stage service run_service ;;
+  graph)   run_stage graph   run_graph ;;
+  all)     run_stage lint    run_lint
+           run_stage format  run_format
+           run_stage tidy    run_tidy
+           run_stage release run_release
+           run_stage tsan    run_tsan
+           run_stage ubsan   run_ubsan
+           run_stage asan    run_asan
+           run_stage perf    run_perf
+           run_stage obs     run_obs
+           run_stage service run_service
+           run_stage graph   run_graph ;;
+  *) echo "usage: ci/check.sh [lint|format|tidy|release|tsan|ubsan|asan|perf|obs|service|graph|all]" >&2
      exit 2 ;;
 esac
+print_summary
 echo "CI checks passed."

@@ -224,6 +224,14 @@ class [[nodiscard]] Expected {
   [[nodiscard]] const T& value_or_throw() const& { return value(); }
   [[nodiscard]] T&& value_or_throw() && { return std::move(*this).value(); }
 
+  /// Unchecked access: the caller has already tested has_value(). This
+  /// is the accessor BIOSENS_HOT code must use after its error branch —
+  /// value() rematerializes the stored error as an exception, which the
+  /// hot-path-transitive analyzer bans on hot call paths.
+  [[nodiscard]] const T& operator*() const& { return std::get<0>(data_); }
+  [[nodiscard]] T& operator*() & { return std::get<0>(data_); }
+  [[nodiscard]] T&& operator*() && { return std::get<0>(std::move(data_)); }
+
   [[nodiscard]] T value_or(T fallback) const& {
     return has_value() ? std::get<0>(data_) : std::move(fallback);
   }

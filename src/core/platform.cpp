@@ -26,6 +26,7 @@ const ErrorInfo* PanelBatchResult::first_error() const {
 
 Expected<const AssayResult*> PanelReport::try_for_target(
     std::string_view target) const {
+  obs::ObsSpan span(Layer::kCore, "panel-lookup");
   for (const AssayResult& r : results) {
     if (r.target == target) return &r;
   }

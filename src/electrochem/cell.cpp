@@ -90,7 +90,7 @@ Expected<std::vector<InterferentTerm>> Cell::try_interferent_terms() const {
       return ctx("interferent current",
                  Expected<std::vector<InterferentTerm>>(species.error()));
     }
-    const chem::Species& sp = *species.value();
+    const chem::Species& sp = **species;
     const CurrentDensity j_lim = transport::limiting_current_density(
         oxidation_electrons(name), sp.diffusivity, c, delta);
     terms.push_back({onset->volts(), j_lim.amps_per_m2()});
@@ -114,7 +114,7 @@ Expected<Current> Cell::try_interferent_current(Potential applied) const {
   auto terms = try_interferent_terms();
   if (!terms) return Expected<Current>(terms.error());
   return Current::amps(
-      interferent_current_amps(terms.value(), applied.volts()));
+      interferent_current_amps(*terms, applied.volts()));
 }
 
 Current Cell::capacitive_step_current(Potential delta,

@@ -78,7 +78,7 @@ BIOSENS_HOT Expected<ChronoBatchResult> try_run_chrono_batch(
       return ctx("chronoamperometry",
                  Expected<ChronoBatchResult>(kinetics_result.error()));
     }
-    kinetics.push_back(kinetics_result.value());
+    kinetics.push_back(*kinetics_result);
     gamma[k] = layer.wired_coverage.mol_per_m2();
     n_f[k] = layer.electrons * constants::kFaraday;
     area[k] = layer.geometric_area.square_meters();
@@ -88,7 +88,7 @@ BIOSENS_HOT Expected<ChronoBatchResult> try_run_chrono_batch(
       return ctx("chronoamperometry",
                  Expected<ChronoBatchResult>(activity_result.error()));
     }
-    activity[k] = activity_result.value();
+    activity[k] = *activity_result;
 
     step_height.push_back(sim.waveform().step() - sim.waveform().rest());
     if (sim.options().include_interferents) {
@@ -98,7 +98,7 @@ BIOSENS_HOT Expected<ChronoBatchResult> try_run_chrono_batch(
         return ctx("chronoamperometry",
                    Expected<ChronoBatchResult>(i.error()));
       }
-      interferent_a[k] = i.value().amps();
+      interferent_a[k] = (*i).amps();
     }
     bulks.push_back(sim.cell().substrate_bulk());
   }

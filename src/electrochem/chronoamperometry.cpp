@@ -39,7 +39,7 @@ BIOSENS_HOT Expected<TimeSeries> ChronoamperometrySim::try_run() const {
     return ctx("chronoamperometry",
                Expected<TimeSeries>(kinetics_result.error()));
   }
-  const chem::MichaelisMenten& kinetics = kinetics_result.value();
+  const chem::MichaelisMenten& kinetics = *kinetics_result;
   const double gamma = layer.wired_coverage.mol_per_m2();
   const double n_f =
       layer.electrons * constants::kFaraday;
@@ -63,7 +63,7 @@ BIOSENS_HOT Expected<TimeSeries> ChronoamperometrySim::try_run() const {
     return ctx("chronoamperometry",
                Expected<TimeSeries>(activity_result.error()));
   }
-  const double activity = activity_result.value();
+  const double activity = *activity_result;
   const auto surface_flux = [&](double surface_mm) {
     return activity *
            kinetics.areal_flux(
@@ -76,7 +76,7 @@ BIOSENS_HOT Expected<TimeSeries> ChronoamperometrySim::try_run() const {
   if (options_.include_interferents) {
     auto i = span.watch(cell_.try_interferent_current(waveform_.step()));
     if (!i) return ctx("chronoamperometry", Expected<TimeSeries>(i.error()));
-    interferents = i.value();
+    interferents = *i;
   }
 
   TimeSeries trace;

@@ -47,8 +47,9 @@ BIOSENS_HOT Expected<DpvTrace> DifferentialPulseSim::try_run() const {
   if (auto v = span.watch(chem::try_validate_species(cell_.sample())); !v) {
     return ctx("dpv", Expected<DpvTrace>(v.error()));
   }
-  if (auto k = span.watch(layer.try_kinetics()); !k) {
-    return ctx("dpv", Expected<DpvTrace>(k.error()));
+  auto kin = span.watch(layer.try_kinetics());
+  if (!kin) {
+    return ctx("dpv", Expected<DpvTrace>(kin.error()));
   }
   auto activity = span.watch(cell_.try_environment_factor());
   if (!activity) return ctx("dpv", Expected<DpvTrace>(activity.error()));
@@ -69,7 +70,7 @@ BIOSENS_HOT Expected<DpvTrace> DifferentialPulseSim::try_run() const {
   // substrates add their own turnover; the whole term scales with the
   // sample-condition activity.
   double catalytic =
-      layer.catalytic_current(cell_.substrate_bulk()).amps();
+      layer.catalytic_current_from(*kin, cell_.substrate_bulk()).amps();
   for (const electrode::CrossActivity& cross : layer.secondary) {
     const Concentration c =
         cell_.sample().concentration_of(cross.substrate);
@@ -80,7 +81,7 @@ BIOSENS_HOT Expected<DpvTrace> DifferentialPulseSim::try_run() const {
                  (cross.k_m_app.milli_molar() + c.milli_molar()) *
                  layer.geometric_area.square_meters();
   }
-  catalytic *= activity.value();
+  catalytic *= *activity;
 
   const double amp = waveform_.pulse_amplitude().volts();
   const double e0 = layer.formal_potential.volts();
@@ -100,7 +101,7 @@ BIOSENS_HOT Expected<DpvTrace> DifferentialPulseSim::try_run() const {
   if (options_.include_interferents) {
     auto terms = span.watch(cell_.try_interferent_terms());
     if (!terms) return ctx("dpv", Expected<DpvTrace>(terms.error()));
-    interferent_terms = std::move(terms).value();
+    interferent_terms = *std::move(terms);
   }
 
   DpvTrace trace;

@@ -62,8 +62,13 @@ Potential VoltammetrySim::peak_separation() const {
 }
 
 CurrentDensity VoltammetrySim::catalytic_peak_density(Concentration c) const {
+  return catalytic_peak_density_from(cell_.layer().kinetics(), c);
+}
+
+CurrentDensity VoltammetrySim::catalytic_peak_density_from(
+    const chem::MichaelisMenten& kin, Concentration c) const {
   const electrode::EffectiveLayer& layer = cell_.layer();
-  const CurrentDensity j_kin = layer.catalytic_current_density(c);
+  const CurrentDensity j_kin = layer.catalytic_current_density_from(kin, c);
   // Porous CNT films expose `area_enhancement` times more electroactive
   // area to the diffusive wave than a planar electrode.
   const CurrentDensity j_transport = CurrentDensity::amps_per_m2(
@@ -86,8 +91,9 @@ BIOSENS_HOT Expected<Voltammogram> VoltammetrySim::try_run() const {
   if (auto v = span.watch(chem::try_validate_species(cell_.sample())); !v) {
     return ctx("voltammetry", Expected<Voltammogram>(v.error()));
   }
-  if (auto k = span.watch(layer.try_kinetics()); !k) {
-    return ctx("voltammetry", Expected<Voltammogram>(k.error()));
+  auto kin = span.watch(layer.try_kinetics());
+  if (!kin) {
+    return ctx("voltammetry", Expected<Voltammogram>(kin.error()));
   }
   BIOSENS_EXPECT(layer.electrons > 0, ErrorCode::kSpec, Layer::kElectrochem,
                  "voltammetry", "electron count must be positive");
@@ -125,7 +131,8 @@ BIOSENS_HOT Expected<Voltammogram> VoltammetrySim::try_run() const {
   // (weaker) catalytic currents; the whole term scales with the
   // enzyme's activity under the sample's O2/pH/temperature.
   double catalytic =
-      catalytic_peak_density(cell_.substrate_bulk()).amps_per_m2() * area;
+      catalytic_peak_density_from(*kin, cell_.substrate_bulk()).amps_per_m2() *
+      area;
   for (const electrode::CrossActivity& cross : layer.secondary) {
     const Concentration c =
         cell_.sample().concentration_of(cross.substrate);
@@ -145,7 +152,7 @@ BIOSENS_HOT Expected<Voltammogram> VoltammetrySim::try_run() const {
                      .amps_per_m2() *
                  area;
   }
-  catalytic *= activity.value();
+  catalytic *= *activity;
 
   // Hoist the interferent species/registry lookups out of the sweep
   // loop: per point only the sigmoid gates are evaluated.
@@ -155,7 +162,7 @@ BIOSENS_HOT Expected<Voltammogram> VoltammetrySim::try_run() const {
     if (!terms) {
       return ctx("voltammetry", Expected<Voltammogram>(terms.error()));
     }
-    interferent_terms = std::move(terms).value();
+    interferent_terms = *std::move(terms);
   }
 
   const Time half = waveform_.half_period();

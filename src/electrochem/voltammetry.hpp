@@ -55,6 +55,11 @@ class VoltammetrySim {
   /// Randles-Sevcik transport ceiling at bulk concentration `c`.
   [[nodiscard]] CurrentDensity catalytic_peak_density(Concentration c) const;
 
+  /// Exception-free variant for the hot sweep loop: takes the kinetics
+  /// the caller already pre-flighted through try_kinetics().
+  [[nodiscard]] CurrentDensity catalytic_peak_density_from(
+      const chem::MichaelisMenten& kin, Concentration c) const;
+
   [[nodiscard]] const Cell& cell() const { return cell_; }
 
  private:

@@ -50,13 +50,23 @@ Expected<chem::MichaelisMenten> EffectiveLayer::try_kinetics() const {
 
 CurrentDensity EffectiveLayer::catalytic_current_density(
     Concentration substrate_conc) const {
-  const double flux = kinetics().areal_flux(wired_coverage, substrate_conc);
-  return CurrentDensity::amps_per_m2(electrons * constants::kFaraday * flux);
+  return catalytic_current_density_from(kinetics(), substrate_conc);
 }
 
 Current EffectiveLayer::catalytic_current(
     Concentration substrate_conc) const {
-  return catalytic_current_density(substrate_conc) * geometric_area;
+  return catalytic_current_from(kinetics(), substrate_conc);
+}
+
+CurrentDensity EffectiveLayer::catalytic_current_density_from(
+    const chem::MichaelisMenten& kin, Concentration substrate_conc) const {
+  const double flux = kin.areal_flux(wired_coverage, substrate_conc);
+  return CurrentDensity::amps_per_m2(electrons * constants::kFaraday * flux);
+}
+
+Current EffectiveLayer::catalytic_current_from(
+    const chem::MichaelisMenten& kin, Concentration substrate_conc) const {
+  return catalytic_current_density_from(kin, substrate_conc) * geometric_area;
 }
 
 Sensitivity EffectiveLayer::intrinsic_sensitivity() const {

@@ -103,6 +103,14 @@ struct EffectiveLayer {
   [[nodiscard]] Current catalytic_current(
       Concentration substrate_conc) const;
 
+  /// Exception-free variants for hot sweep loops: the caller passes
+  /// the kinetics it already pre-flighted through try_kinetics(), so
+  /// nothing on the path can rematerialize an error as an exception.
+  [[nodiscard]] CurrentDensity catalytic_current_density_from(
+      const chem::MichaelisMenten& kin, Concentration substrate_conc) const;
+  [[nodiscard]] Current catalytic_current_from(
+      const chem::MichaelisMenten& kin, Concentration substrate_conc) const;
+
   /// Low-concentration sensitivity of the layer alone (no transport
   /// limit): n * F * Gamma * k_cat / K_M, in canonical units.
   [[nodiscard]] Sensitivity intrinsic_sensitivity() const;

@@ -221,6 +221,7 @@ Expected<SessionId> SimulationService::insert_session(
 
 Expected<SessionId> SimulationService::try_open_session(
     SessionOptions options) {
+  obs::ObsSpan span(kLayer, "open_session");
   BIOSENS_EXPECT(static_cast<bool>(options.body), ErrorCode::kSpec, kLayer,
                  "open_session", "session body must not be empty");
   BIOSENS_EXPECT(valid_tenant_name(options.tenant), ErrorCode::kSpec,
@@ -241,6 +242,7 @@ Expected<SessionId> SimulationService::try_open_session(
 
 Expected<SessionId> SimulationService::try_restore(
     SessionBody body, const SessionSnapshot& snapshot) {
+  obs::ObsSpan span(kLayer, "restore_session");
   BIOSENS_EXPECT(static_cast<bool>(body), ErrorCode::kSpec, kLayer,
                  "restore_session", "session body must not be empty");
   BIOSENS_EXPECT(valid_tenant_name(snapshot.tenant), ErrorCode::kSpec,
@@ -371,6 +373,7 @@ Expected<std::uint64_t> SimulationService::try_submit_measurement(
 
 Expected<void> SimulationService::try_advance_time(SessionId id,
                                                    double dt_s) {
+  obs::ObsSpan span(kLayer, "advance_time");
   BIOSENS_EXPECT(dt_s >= 0.0, ErrorCode::kSpec, kLayer, "advance_time",
                  "time must not run backwards (dt " + std::to_string(dt_s) +
                      ")");
@@ -388,6 +391,7 @@ Expected<void> SimulationService::try_advance_time(SessionId id,
 }
 
 Expected<void> SimulationService::try_wait_idle(SessionId id) {
+  obs::ObsSpan span(kLayer, "wait_idle");
   auto shard_ptr = try_shard_of(id, "wait_idle");
   if (!shard_ptr.has_value()) return shard_ptr.error();
   Shard& shard = *shard_ptr.value();
@@ -405,6 +409,7 @@ Expected<void> SimulationService::try_wait_idle(SessionId id) {
 
 Expected<std::vector<MeasurementRecord>> SimulationService::try_stream(
     SessionId id) {
+  obs::ObsSpan span(kLayer, "stream");
   auto shard_ptr = try_shard_of(id, "stream");
   if (!shard_ptr.has_value()) return shard_ptr.error();
   Shard& shard = *shard_ptr.value();
@@ -416,6 +421,7 @@ Expected<std::vector<MeasurementRecord>> SimulationService::try_stream(
 }
 
 Expected<SessionSummary> SimulationService::try_close_session(SessionId id) {
+  obs::ObsSpan span(kLayer, "close_session");
   auto shard_ptr = try_shard_of(id, "close_session");
   if (!shard_ptr.has_value()) return shard_ptr.error();
   Shard& shard = *shard_ptr.value();
@@ -450,6 +456,7 @@ Expected<SessionSummary> SimulationService::try_close_session(SessionId id) {
 }
 
 Expected<SessionSnapshot> SimulationService::try_snapshot(SessionId id) {
+  obs::ObsSpan span(kLayer, "snapshot");
   auto shard_ptr = try_shard_of(id, "snapshot");
   if (!shard_ptr.has_value()) return shard_ptr.error();
   Shard& shard = *shard_ptr.value();

@@ -1,0 +1,12 @@
+// Fixture: the sanctioned RNG home — nondeterminism sources here are
+// allowed (this is where seeding policy lives).
+#include <random>
+
+namespace fix {
+
+double draw_uniform() {
+  static std::mt19937 gen(42);
+  return static_cast<double>(gen() % 1000) / 1000.0;
+}
+
+}  // namespace fix

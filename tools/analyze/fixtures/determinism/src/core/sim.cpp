@@ -1,0 +1,37 @@
+// Fixture: a simulation root whose call chain reaches a raw
+// nondeterminism source outside the sanctioned RNG home, and a second
+// root that only touches the allowed path.
+#include <chrono>
+#include <random>
+
+namespace fix {
+
+double draw_uniform();
+
+class Sim {
+ public:
+  int try_step();
+  int try_reset();
+
+ private:
+  double jitter();
+  double seeded();
+};
+
+double Sim::jitter() {
+  std::random_device rd;  // the taint, one hop below the root
+  return static_cast<double>(rd());
+}
+
+double Sim::seeded() { return draw_uniform(); }
+
+int Sim::try_step() {
+  return jitter() + seeded() > 0.5 ? 1 : 0;
+}
+
+// Negative: this root draws only through the sanctioned RNG home.
+int Sim::try_reset() {
+  return seeded() > 0.5 ? 1 : 0;
+}
+
+}  // namespace fix

@@ -1,0 +1,11 @@
+// Fixture: chem reaching upward into engine — both the include edge
+// and the call edge violate the sanctioned DAG.
+#include "engine/engine.hpp"
+
+namespace fix {
+
+void chem_react() {
+  engine_step();
+}
+
+}  // namespace fix

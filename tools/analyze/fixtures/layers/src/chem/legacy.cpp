@@ -1,0 +1,9 @@
+// Negative fixture: the same upward include, grandfathered through an
+// [[exemptions]] entry in layers.toml.
+#include "engine/engine.hpp"
+
+namespace fix {
+
+int chem_legacy() { return 0; }
+
+}  // namespace fix

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fix {
+
+inline int util_id() { return 1; }
+
+}  // namespace fix

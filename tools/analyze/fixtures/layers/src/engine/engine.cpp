@@ -1,0 +1,9 @@
+#include "engine/engine.hpp"
+
+#include "common/util.hpp"
+
+namespace fix {
+
+void engine_step() { (void)util_id(); }
+
+}  // namespace fix

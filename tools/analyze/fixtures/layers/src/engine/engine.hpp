@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fix {
+
+void engine_step();
+
+}  // namespace fix

@@ -1,0 +1,22 @@
+#include "core/api.hpp"
+
+#include "obs/span.hpp"
+
+namespace fix {
+
+int Api::try_fetch(int key) {
+  obs::ObsSpan span(0, "fetch");
+  return helper() + key;
+}
+
+int Api::try_poll() {
+  return helper();
+}
+
+int Api::try_refresh_cache() { return helper(); }
+
+int Api::helper() { return 1; }
+
+int try_free_helper() { return 2; }
+
+}  // namespace fix

@@ -1,0 +1,20 @@
+// Fixture facade header: two public try_* entry points, one traced and
+// one that never creates a span on any call path. A private try_* and
+// a free try_* must not count as entries.
+#pragma once
+
+namespace fix {
+
+class Api {
+ public:
+  int try_fetch(int key);
+  int try_poll();
+
+ private:
+  int try_refresh_cache();
+  int helper();
+};
+
+int try_free_helper();
+
+}  // namespace fix

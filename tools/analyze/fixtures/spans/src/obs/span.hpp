@@ -1,0 +1,10 @@
+#pragma once
+
+namespace fix::obs {
+
+class ObsSpan {
+ public:
+  ObsSpan(int layer, const char* stage);
+};
+
+}  // namespace fix::obs

@@ -34,12 +34,19 @@ Checks (check-id -> invariant):
                           *Sim types) directly — core reaches
                           signal generation only through the
                           core::Transducer seam
+  stale-suppression       every `biosens-lint: allow(...)` directive
+                          must actually suppress a finding — an allow()
+                          that matches nothing is dead weight that
+                          silently blesses future regressions
 
 Output format: file:line: [check-id] message
 
 Suppressions: a `// biosens-lint: allow(check-id)` comment on the same
 line or the immediately preceding line silences that check there.
-Multiple ids: allow(a, b).
+Multiple ids: allow(a, b). A directive whose ids all belong to checks
+that ran but which suppressed nothing is itself reported
+(stale-suppression); directives naming foreign ids (biosens-graph
+checks, skipped checks) are left alone.
 
 Backends:
   --backend token   built-in C++ lexer (default; zero dependencies)
@@ -96,6 +103,10 @@ class SourceFile:
     tokens: list         # list[Token], comments/preprocessor excluded
     includes: list       # list[(line, header_name)] from #include <...>/"..."
     suppressions: dict   # line -> set of allowed check-ids ('*' = all)
+    #: one record per allow() directive, for stale-suppression tracking:
+    #: {"line": directive line, "ids": ids named, "lines": covered
+    #:  lines, "used": ids that actually suppressed a finding}
+    suppression_groups: list = field(default_factory=list)
 
 
 _ALLOW_RE = re.compile(r"biosens-lint:\s*allow\(([^)]*)\)")
@@ -113,6 +124,7 @@ def lex_text(text: str, path: str,
     tokens: list[Token] = []
     includes: list[tuple[int, str]] = []
     suppressions: dict[int, set] = {}
+    suppression_groups: list[dict] = []
     fixture_path = None
 
     # Precompute line numbers from offsets.
@@ -128,8 +140,11 @@ def lex_text(text: str, path: str,
             ids = {s.strip() for s in m.group(1).split(",") if s.strip()}
             # The suppression covers its own line and the next code line.
             end_line = start_line + body.count("\n")
-            for ln in (start_line, end_line, end_line + 1):
+            covered = {start_line, end_line, end_line + 1}
+            for ln in covered:
                 suppressions.setdefault(ln, set()).update(ids)
+            suppression_groups.append({"line": start_line, "ids": ids,
+                                       "lines": covered, "used": set()})
         m = _FIXTURE_PATH_RE.search(body)
         if m:
             fixture_path = m.group(1)
@@ -227,7 +242,8 @@ def lex_text(text: str, path: str,
     return SourceFile(path=path,
                       effective_path=fixture_path or effective_path or path,
                       tokens=tokens, includes=includes,
-                      suppressions=suppressions)
+                      suppressions=suppressions,
+                      suppression_groups=suppression_groups)
 
 
 # --------------------------------------------------------------------------
@@ -761,10 +777,29 @@ class RecorderDiscipline(Check):
         return out
 
 
+class StaleSuppression:
+    """every `biosens-lint: allow(...)` directive must suppress a finding
+
+    Driver-level check: lint_files() runs the token checks, lets
+    apply_suppressions() record which directives fired, then reports the
+    directives whose ids all name checks that ran yet caught nothing.
+    Directives naming foreign ids (biosens-graph checks, or checks
+    skipped via --check) are left alone — they may be live for a tool
+    that is not running right now, so only this tool's own dead weight
+    is flagged.
+    """
+
+    check_id = "stale-suppression"
+
+    def run(self, src: SourceFile) -> list:
+        return []  # needs post-suppression state; see the driver
+
+
 ALL_CHECKS = [ThrowDiscipline(), SpanDiscipline(), SpanTemporary(),
               DeterminismDiscipline(), ExpectedDiscard(), NodiscardDecl(),
               HotPathDiscipline(), ServiceDiscipline(),
-              TransducerDiscipline(), RecorderDiscipline()]
+              TransducerDiscipline(), RecorderDiscipline(),
+              StaleSuppression()]
 CHECK_IDS = {c.check_id for c in ALL_CHECKS}
 
 
@@ -814,21 +849,73 @@ def apply_suppressions(src: SourceFile, findings: list) -> list:
     for f in findings:
         allowed = src.suppressions.get(f.line, set())
         if f.check_id in allowed or "*" in allowed:
+            for g in src.suppression_groups:
+                if f.line in g["lines"]:
+                    if f.check_id in g["ids"]:
+                        g["used"].add(f.check_id)
+                    elif "*" in g["ids"]:
+                        g["used"].add("*")
             continue
         kept.append(f)
     return kept
 
 
+def stale_suppression_findings(src: SourceFile, ran_ids: set) -> list:
+    """Directives that could have fired (every id names a check that
+    ran) but suppressed nothing. `*` never counts as coverable: it may
+    target any tool, so an unused allow(*) stays silent here."""
+    active = ran_ids - {StaleSuppression.check_id}
+    out = []
+    for g in src.suppression_groups:
+        if not g["ids"] or not g["ids"].issubset(active):
+            continue
+        if g["used"]:
+            continue
+        ids = ", ".join(sorted(g["ids"]))
+        out.append(Finding(
+            src.path, g["line"], StaleSuppression.check_id,
+            f"suppression allow({ids}) matches no finding on the lines "
+            "it covers — delete the directive (a dead allow() silently "
+            "blesses the next real violation)"))
+    return out
+
+
+def _lint_one(path: str, eff: str | None, checks: list) -> list:
+    src = lex_file(path, eff)
+    per_file = []
+    for check in checks:
+        per_file.extend(check.run(src))
+    kept = apply_suppressions(src, per_file)
+    ran_ids = {c.check_id for c in checks}
+    if StaleSuppression.check_id in ran_ids:
+        kept.extend(apply_suppressions(
+            src, stale_suppression_findings(src, ran_ids)))
+    return kept
+
+
+def _lint_one_task(task):  # module-level for multiprocessing pickling
+    path, eff, check_ids = task
+    checks = [c for c in ALL_CHECKS if c.check_id in check_ids]
+    return _lint_one(path, eff, checks)
+
+
 def lint_files(files: list, root: str, checks: list,
-               fixture_mode: bool = False) -> list:
+               fixture_mode: bool = False, jobs: int = 1) -> list:
     findings = []
-    for path in files:
-        eff = None if fixture_mode else effective_path_for(path, root)
-        src = lex_file(path, eff)
-        per_file = []
-        for check in checks:
-            per_file.extend(check.run(src))
-        findings.extend(apply_suppressions(src, per_file))
+    if jobs > 1 and len(files) > 1:
+        import concurrent.futures
+        check_ids = {c.check_id for c in checks}
+        tasks = [(path,
+                  None if fixture_mode else effective_path_for(path, root),
+                  check_ids) for path in files]
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(files))) as pool:
+            for per_file in pool.map(_lint_one_task, tasks, chunksize=8):
+                findings.extend(per_file)
+    else:
+        for path in files:
+            eff = None if fixture_mode else effective_path_for(path, root)
+            findings.extend(_lint_one(path, eff, checks))
     findings.sort(key=lambda f: (f.path, f.line, f.check_id))
     return findings
 
@@ -1041,6 +1128,9 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="append", dest="checks",
                         metavar="CHECK-ID",
                         help="run only these check ids (repeatable)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="scan N files in parallel (token backend; "
+                             "default 1). Output stays deterministic.")
     parser.add_argument("--list-checks", action="store_true")
     parser.add_argument("--self-test", action="store_true",
                         help="lint tools/lint/fixtures/ against its "
@@ -1069,8 +1159,18 @@ def main(argv=None) -> int:
             return 2
         checks = [c for c in ALL_CHECKS if c.check_id in set(args.checks)]
 
+    if args.jobs < 1:
+        print(f"biosens-lint: --jobs must be >= 1 (got {args.jobs})",
+              file=sys.stderr)
+        return 2
+
     if args.compdb and not args.paths:
-        files = files_from_compdb(args.compdb)
+        try:
+            files = files_from_compdb(args.compdb)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"biosens-lint: cannot read compile database "
+                  f"{args.compdb}: {e}", file=sys.stderr)
+            return 2
     else:
         files = discover_files(args.paths or ["src"], root)
     if not files:
@@ -1095,9 +1195,9 @@ def main(argv=None) -> int:
                 return 2
             print(f"biosens-lint: falling back to token backend ({e})",
                   file=sys.stderr)
-            findings = lint_files(files, root, checks)
+            findings = lint_files(files, root, checks, jobs=args.jobs)
     else:
-        findings = lint_files(files, root, checks)
+        findings = lint_files(files, root, checks, jobs=args.jobs)
 
     for f in findings:
         print(f.render())

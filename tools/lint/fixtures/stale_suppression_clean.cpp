@@ -1,0 +1,30 @@
+// biosens-lint-fixture: src/core/fixture_stale_clean.cpp
+// Clean counterpart: the three kinds of allow() the stale check must
+// leave alone — one that fires, one naming a foreign tool's check id
+// (biosens-graph), and a wildcard (which may target any tool).
+#include "common/expected.hpp"
+
+namespace biosens::core {
+
+struct FixtureStaleSensor {
+  [[nodiscard]] Expected<double> try_measure(double x) const;
+};
+
+void fixture_live_suppression(const FixtureStaleSensor& sensor) {
+  // Fires: the discarded Expected below is a real finding.
+  sensor.try_measure(6.0);  // biosens-lint: allow(expected-discard)
+}
+
+double fixture_foreign_id() {
+  // biosens-graph owns this id; this tool never runs that check, so
+  // the directive must not be called stale from here.
+  // biosens-lint: allow(hot-path-transitive)
+  return 1.0;
+}
+
+double fixture_wildcard() {
+  // biosens-lint: allow(*)
+  return 2.0;
+}
+
+}  // namespace biosens::core

@@ -1,0 +1,24 @@
+// biosens-lint-fixture: src/core/fixture_stale_violation.cpp
+// Suppressions that match nothing: the code they cover is legal, so
+// each allow() is dead weight silently blessing a future regression.
+#include "common/expected.hpp"
+
+namespace biosens::core {
+
+[[nodiscard]] Expected<double> try_fixture_stale(double x);
+
+Expected<double> fixture_consumed_anyway() {
+  // The result IS consumed, so nothing fires here.  SEED below:
+  // biosens-lint: allow(expected-discard)
+  auto result = try_fixture_stale(2.0);
+  if (!result.has_value()) return result.error();
+  return result.value();
+}
+
+double fixture_no_banned_primitive() {
+  // Neither named check has anything to say about plain arithmetic.
+  // biosens-lint: allow(determinism-discipline, hot-path-discipline)
+  return 2.0 * 21.0;
+}
+
+}  // namespace biosens::core
